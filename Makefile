@@ -1,0 +1,25 @@
+# Convenience targets; everything works with plain pytest too.
+
+.PHONY: install test test-all bench validate figures tables lint
+
+install:
+	pip install -e .
+
+test:                ## fast test suite (skips @slow)
+	pytest tests/ -m "not slow"
+
+test-all:            ## everything, including slow end-to-end checks
+	pytest tests/
+
+bench:               ## regenerate every paper artifact (pytest-benchmark)
+	pytest benchmarks/ --benchmark-only
+
+validate:            ## check all 15 paper claims against the simulation
+	repro-bench --validate
+
+figures:
+	for n in 3 4 5 6 7; do repro-bench --figure $$n; done
+
+tables:
+	repro-bench --table 1
+	repro-bench --table 2

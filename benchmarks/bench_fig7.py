@@ -1,0 +1,24 @@
+"""Regenerate Figure 7: IMB Alltoall aggregated throughput, 8 ranks."""
+
+from conftest import run_once
+
+from repro.bench.figures.fig7 import run_fig7
+from repro.bench.harness import crossover
+from repro.bench.reporting import format_series_table
+from repro.units import KiB
+
+
+def test_fig7(benchmark, topo):
+    sweep = run_once(benchmark, run_fig7, topo=topo, fast=True)
+    print("\n" + format_series_table(sweep))
+
+    # KNEM clearly ahead of the default for medium blocks.
+    at = 32 * KiB
+    assert sweep.get("KNEM LMT").y_at(at) > 1.6 * sweep.get("default LMT").y_at(at)
+    # vmsplice provides "a smaller but still worthwhile improvement".
+    assert sweep.get("vmsplice LMT").y_at(at) > sweep.get("default LMT").y_at(at)
+
+    # I/OAT becomes interesting far below the 1 MiB point-to-point
+    # threshold (paper: near 200 KiB).
+    x = crossover(sweep.get("KNEM LMT"), sweep.get("KNEM LMT with I/OAT"))
+    assert x is not None and x <= 512 * KiB

@@ -1,0 +1,70 @@
+"""Extension experiment: the Sec. 6 'upcoming processors' scenario.
+
+"The increasing number of cores and large, shared caches in the
+upcoming processors such as Intel Nehalem [...] will keep raising the
+need to carefully tune intranode communication according to process
+affinities."
+
+On a Nehalem-style host where all 8 cores share one large cache:
+
+- placement stops mattering (every pair shares the cache), so the
+  vmsplice-dynamic policy always picks the default double-buffer;
+- DMAmin with one process per core drops to cache/(2x8) — copy offload
+  pays off at much *smaller* sizes than on the E5345.
+"""
+
+from conftest import run_once
+
+from repro.bench.imb import imb_pingpong
+from repro.core.policy import LmtConfig, LmtPolicy
+from repro.hw.presets import nehalem8, xeon_e5345
+from repro.units import KiB, MiB
+
+
+def test_placement_insensitivity(benchmark):
+    """Any two cores share the cache: pingpong is placement-blind."""
+    topo = nehalem8()
+
+    def run():
+        return [
+            imb_pingpong(topo, 1 * MiB, mode="default", bindings=b).throughput_mib
+            for b in [(0, 1), (0, 4), (0, 7)]
+        ]
+
+    near, mid, far = run_once(benchmark, run)
+    print(f"\n(0,1): {near:.0f}  (0,4): {mid:.0f}  (0,7): {far:.0f} MiB/s")
+    assert abs(mid - near) / near < 0.02
+    assert abs(far - near) / near < 0.02
+
+
+def test_dmamin_shrinks_with_core_count(benchmark):
+    """cache/(2 x sharers): 8 sharers of 8 MiB -> 512 KiB threshold."""
+    topo = nehalem8()
+
+    def run():
+        policy = LmtPolicy(topo, LmtConfig(mode="knem-auto"))
+        return (
+            topo.dmamin_bytes(),  # one process per core
+            policy.select(512 * KiB, 0, 7, cache_sharers=8).name,
+            policy.select(256 * KiB, 0, 7, cache_sharers=8).name,
+        )
+
+    dmamin, at512k, at256k = run_once(benchmark, run)
+    print(f"\nDMAmin: {dmamin // KiB} KiB")
+    assert dmamin == 512 * KiB
+    assert at512k == "knem+ioat+async"
+    assert at256k == "knem"
+
+
+def test_dynamic_vmsplice_never_triggers(benchmark):
+    """vmsplice-dynamic falls back to the default everywhere when every
+    core pair shares a cache (Sec. 4.1's rule, inverted)."""
+    topo = nehalem8()
+
+    def run():
+        policy = LmtPolicy(topo, LmtConfig(mode="vmsplice-dynamic"))
+        return {policy.select(1 * MiB, 0, c).name for c in range(1, 8)}
+
+    names = run_once(benchmark, run)
+    print(f"\nbackends chosen: {names}")
+    assert names == {"shm"}

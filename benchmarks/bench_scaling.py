@@ -1,0 +1,58 @@
+"""Scaling studies: rank counts and NAS problem classes.
+
+Not figures from the paper, but the questions its Sec. 6 raises — how
+the strategy gaps evolve as more cores participate and as problems
+grow — answered on the same testbed.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.bench.imb import imb_alltoall
+from repro.bench.nas import get_spec, run_nas
+from repro.units import KiB, MiB
+
+
+def test_alltoall_rank_scaling(benchmark, topo):
+    """Aggregated throughput saturates with rank count: doubling the
+    ranks cannot double the aggregate once the FSB/DRAM pools fill —
+    and the KNEM advantage persists at every width."""
+
+    def run():
+        out = {}
+        for nprocs in (2, 4, 8):
+            out[nprocs] = {
+                mode: imb_alltoall(
+                    topo, 256 * KiB, mode=mode, nprocs=nprocs, repetitions=2
+                ).aggregated_mib
+                for mode in ("default", "knem")
+            }
+        return out
+
+    out = run_once(benchmark, run)
+    print("\n", out)
+    for nprocs in (2, 4, 8):
+        assert out[nprocs]["knem"] > out[nprocs]["default"]
+    # Saturation: 8 ranks deliver less than 2x the 4-rank aggregate.
+    assert out[8]["knem"] < 2 * out[4]["knem"]
+
+
+def test_nas_is_class_scaling(benchmark, topo):
+    """The IS speedup mechanism holds from class A to class C."""
+
+    def run():
+        out = {}
+        for klass in ("A", "B", "C"):
+            spec = get_spec("is", klass)
+            base = run_nas(spec, topo, mode="default", iterations=1)
+            fast = run_nas(spec, topo, mode="knem-ioat", iterations=1)
+            out[klass] = (base.seconds, fast.speedup_vs(base))
+        return out
+
+    out = run_once(benchmark, run)
+    print("\n", {k: (f"{t:.2f}s", f"{s * 100:+.1f}%") for k, (t, s) in out.items()})
+    # Runtime ordering by volume.
+    assert out["A"][0] < out["B"][0] < out["C"][0]
+    # Speedup present at every class.
+    for klass in ("A", "B", "C"):
+        assert out[klass][1] > 0.1

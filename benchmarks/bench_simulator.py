@@ -1,0 +1,63 @@
+"""Performance benchmarks of the simulator itself.
+
+These guard the extent-cache and event-engine optimizations: the paper
+sweeps execute tens of thousands of coherence operations, so regressing
+the per-operation cost makes the figure benchmarks intractable.
+"""
+
+from repro.hw.cache import ExtentLRUCache
+from repro.hw.presets import xeon_e5345
+from repro.sim import Engine
+from repro.units import KiB, MiB
+
+
+def test_bench_extent_cache_streaming(benchmark):
+    """Alternating big sweeps: the fragmentation-heavy pattern."""
+    cache = ExtentLRUCache(4 * MiB // 64)
+
+    def run():
+        for rep in range(50):
+            base = (rep % 3) * 120_000
+            for chunk in range(0, 65536, 256):
+                cache.access(base + chunk, base + chunk + 256, write=rep % 2 == 0)
+
+    benchmark(run)
+
+
+def test_bench_engine_event_throughput(benchmark):
+    """Raw engine throughput: ping-pong of events between processes."""
+
+    def run():
+        eng = Engine()
+
+        def ping(evt_in, evt_out, n):
+            for _ in range(n):
+                yield evt_in[0]
+                evt_in[0] = eng.event()
+                evt_out[0].succeed()
+                evt_out[0] = eng.event()
+
+        a = [eng.event()]
+        b = [eng.event()]
+
+        def driver():
+            for _ in range(2000):
+                yield 1e-6
+
+        eng.process(driver)
+        eng.run()
+
+    benchmark(run)
+
+
+def test_bench_pingpong_simulation_speed(benchmark):
+    """End-to-end: one 1 MiB KNEM pingpong simulation."""
+    from repro.bench.imb import imb_pingpong
+
+    topo = xeon_e5345()
+
+    def run():
+        return imb_pingpong(topo, 1 * MiB, mode="knem", bindings=(0, 4))
+
+    result = benchmark(run)
+    assert result.throughput_mib > 0

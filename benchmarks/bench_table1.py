@@ -1,0 +1,50 @@
+"""Regenerate Table 1: NAS Parallel Benchmark execution times."""
+
+import pytest
+from conftest import run_once
+
+from repro.bench.tables.table1 import PAPER_TABLE1, format_table1, run_table1
+
+
+def test_table1_is_row(benchmark, topo):
+    """The headline row: is.B.8 with its ~25% KNEM+I/OAT speedup."""
+    rows = run_once(
+        benchmark, run_table1, topo=topo, benchmarks=["is.B.8"], iterations_cap=3
+    )
+    print("\n" + format_table1(rows))
+    (row,) = rows
+    assert row.seconds["default"] == pytest.approx(
+        PAPER_TABLE1["is.B.8"][0], rel=0.15
+    )
+    assert 0.15 < row.speedup < 0.45  # paper: +25.8%
+    # Single-copy strategies in between.
+    assert row.seconds["knem-ioat"] < row.seconds["knem"] < row.seconds["default"]
+    assert row.seconds["vmsplice"] < row.seconds["default"]
+
+
+def test_table1_ft_row(benchmark, topo):
+    rows = run_once(
+        benchmark, run_table1, topo=topo, benchmarks=["ft.B.8"], iterations_cap=3
+    )
+    print("\n" + format_table1(rows))
+    (row,) = rows
+    assert row.seconds["default"] == pytest.approx(
+        PAPER_TABLE1["ft.B.8"][0], rel=0.15
+    )
+    assert 0.05 < row.speedup < 0.25  # paper: +10.6%
+
+
+def test_table1_insensitive_rows(benchmark, topo):
+    """ep/lu/mg: no large messages, so deltas stay within a few %."""
+    rows = run_once(
+        benchmark,
+        run_table1,
+        topo=topo,
+        benchmarks=["ep.B.4", "lu.B.8", "mg.B.8"],
+        iterations_cap=2,
+    )
+    print("\n" + format_table1(rows))
+    for row in rows:
+        paper_default = PAPER_TABLE1[row.label][0]
+        assert row.seconds["default"] == pytest.approx(paper_default, rel=0.15)
+        assert abs(row.speedup) < 0.06, row.label

@@ -1,0 +1,40 @@
+"""Regenerate the Sec. 3.5 threshold observations.
+
+"While looking at early performance numbers on 2.33 GHz Xeon
+processors with a 4 MiB L2 cache shared between 2 cores, we observed
+that KNEM should offload copies to I/OAT hardware when the size passes
+1 MiB.  We ran the same test between 2 cores not sharing a cache and
+observed that the threshold jumps to 2 MiB.  Running the experiment on
+another host with 6 MiB L2 caches increased the threshold by 50%."
+"""
+
+from conftest import run_once
+
+from repro.core.autotune import find_ioat_crossover
+from repro.hw.presets import xeon_x5460
+from repro.units import MiB
+
+
+def test_threshold_shared_cache(benchmark, topo):
+    res = run_once(benchmark, find_ioat_crossover, topo, (0, 1))
+    print("\n" + res.describe())
+    assert res.predicted_dmamin == 1 * MiB
+    assert res.measured_crossover is not None
+    assert 0.5 <= res.measured_crossover / res.predicted_dmamin <= 4.0
+
+
+def test_threshold_no_shared_cache(benchmark, topo):
+    res = run_once(benchmark, find_ioat_crossover, topo, (0, 4))
+    print("\n" + res.describe())
+    assert res.predicted_dmamin == 2 * MiB
+    assert res.measured_crossover is not None
+    shared = find_ioat_crossover(topo, (0, 1))
+    # "the threshold jumps" when no cache is shared.
+    assert res.measured_crossover >= shared.measured_crossover
+
+
+def test_threshold_bigger_cache_scales(benchmark):
+    """6 MiB caches raise the predicted threshold by 50%."""
+    res = run_once(benchmark, find_ioat_crossover, xeon_x5460(), (0, 1))
+    print("\n" + res.describe())
+    assert res.predicted_dmamin == int(1.5 * MiB)

@@ -1,0 +1,22 @@
+"""Shared fixtures for the paper-artifact benchmarks.
+
+Every benchmark regenerates one table or figure of the paper on the
+simulated testbed (fast parameterizations — the full sweeps are
+available through ``repro-bench``).  ``--benchmark-only`` runs them:
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+from repro.hw.presets import xeon_e5345
+
+
+@pytest.fixture(scope="session")
+def topo():
+    return xeon_e5345()
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""The DMAmin story (Sec. 3.5): derive, verify, and use the threshold.
+
+1. Computes ``DMAmin = cache / (2 x processes sharing it)`` for the
+   paper's placements and hosts (1 MiB shared / 2 MiB unshared on the
+   E5345; +50% on the 6 MiB-cache X5460).
+2. *Measures* the actual KNEM vs KNEM+I/OAT crossover with pingpong
+   sweeps, the way the paper found the thresholds empirically.
+3. Shows the adaptive policy switching backends per message size.
+"""
+
+from repro import LmtConfig, LmtPolicy, xeon_e5345, xeon_x5460
+from repro.core.autotune import find_ioat_crossover
+from repro.units import KiB, MiB, fmt_size
+
+
+def main():
+    # -- 1. the formula --------------------------------------------------
+    print("DMAmin predictions:")
+    for topo in (xeon_e5345(), xeon_x5460()):
+        for sharers, label in [(2, "cache shared by 2"), (1, "cache used by 1")]:
+            print(
+                f"  {topo.name:12s} {label:18s} -> "
+                f"{fmt_size(topo.dmamin_bytes(sharers))}"
+            )
+
+    # -- 2. the measurement ----------------------------------------------
+    print("\nmeasured crossovers (pingpong sweep, like Sec. 3.5):")
+    for topo, bindings in [
+        (xeon_e5345(), (0, 1)),
+        (xeon_e5345(), (0, 4)),
+        (xeon_x5460(), (0, 1)),
+    ]:
+        print(" ", find_ioat_crossover(topo, bindings).describe())
+
+    # -- 3. the policy in action -------------------------------------------
+    print("\nadaptive policy decisions (E5345, shared-cache receiver):")
+    policy = LmtPolicy(xeon_e5345(), LmtConfig(mode="adaptive"))
+    for nbytes in [8 * KiB, 64 * KiB, 512 * KiB, 1 * MiB, 4 * MiB]:
+        if nbytes < policy.eager_threshold:
+            choice = "eager (cells)"
+        else:
+            choice = policy.select(nbytes, 0, 1, cache_sharers=2).name
+        print(f"  {fmt_size(nbytes):>8s} -> {choice}")
+    print("with 7 concurrent transfers (collective hint):")
+    for nbytes in [128 * KiB, 256 * KiB]:
+        choice = policy.select(nbytes, 0, 1, cache_sharers=2, hint=7).name
+        print(f"  {fmt_size(nbytes):>8s} -> {choice}")
+
+
+if __name__ == "__main__":
+    main()

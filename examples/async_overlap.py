@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Overlapping communication with computation (Secs. 3.4 / 4.3).
+
+A producer rank streams large messages to a consumer that has real
+work to do between receives.  With the *synchronous* KNEM copy the
+consumer's core is busy copying; with *asynchronous I/OAT* the DMA
+engine moves the data while the consumer computes — the transfer is
+effectively free.  The asynchronous *kernel-thread* mode, by contrast,
+steals the consumer's own cycles (the Fig. 6 competition effect), so
+overlap buys nothing.
+
+This is the paper's liveness argument made concrete: "the I/OAT DMA
+Engine hardware frees the host processors while the copy is performed
+in the background, thereby opening an opportunity to overlap the copy
+with useful computation."
+"""
+
+from repro import run_mpi, xeon_e5345
+from repro.units import MiB
+
+MESSAGE = 2 * MiB
+ROUNDS = 8
+WORK_PER_ROUND = 1.0e-3  # seconds of computation per received message
+
+
+def make_main():
+    def main(ctx):
+        comm = ctx.comm
+        buf = ctx.alloc(MESSAGE)
+        if ctx.rank == 0:  # producer
+            for i in range(ROUNDS):
+                yield comm.Send(buf, dest=1, tag=i)
+            return None
+        # Consumer: prepost the receive, compute, then complete it.
+        start = ctx.now
+        for i in range(ROUNDS):
+            req = comm.Irecv(buf, source=0, tag=i)
+            yield ctx.compute(WORK_PER_ROUND)
+            yield from req.wait()
+        return ctx.now - start
+
+    return main
+
+
+def main():
+    topo = xeon_e5345()
+    print(
+        f"{ROUNDS} x {MESSAGE // MiB} MiB messages with "
+        f"{WORK_PER_ROUND * 1e3:.1f} ms of computation per round "
+        f"(cores 0 and 4, no shared cache)\n"
+    )
+    baseline = None
+    for mode in ["knem", "knem-async", "knem-ioat", "knem-ioat-async"]:
+        result = run_mpi(topo, 2, make_main(), bindings=[0, 4], mode=mode)
+        elapsed = result.results[1]
+        if baseline is None:
+            baseline = elapsed
+        print(
+            f"{mode:18s} consumer loop: {elapsed * 1e3:7.2f} ms "
+            f"({baseline / elapsed:4.2f}x vs sync KNEM)"
+        )
+    print(
+        "\nasync I/OAT approaches the pure-compute floor of "
+        f"{ROUNDS * WORK_PER_ROUND * 1e3:.1f} ms: the copies ran in hardware."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""The paper's headline application result: NAS IS, 25% faster.
+
+Runs the is.B.8 communication skeleton (2^25 keys redistributed by
+alltoallv every iteration) under each strategy and prints execution
+time, L2 misses and the speedup over the default — reproducing the
+Table 1 is.B.8 row and the Table 2 miss column, including the paper's
+observation that "the execution time of IS is actually somehow linear
+with the total number of cache misses".
+"""
+
+from repro import xeon_e5345
+from repro.bench.nas import BENCHMARKS, run_nas
+
+MODES = ["default", "vmsplice", "knem", "knem-ioat", "adaptive"]
+
+
+def main():
+    topo = xeon_e5345()
+    spec = BENCHMARKS["is.B.8"]
+    print(f"NAS {spec.label} (paper default: {spec.paper_default_seconds:.2f}s)")
+    print(f"{'strategy':12s} {'time':>8s} {'speedup':>9s} {'L2 misses':>11s}")
+    baseline = None
+    rows = []
+    for mode in MODES:
+        result = run_nas(spec, topo, mode=mode, iterations=3)
+        if baseline is None:
+            baseline = result
+        rows.append((mode, result))
+        print(
+            f"{mode:12s} {result.seconds:7.2f}s "
+            f"{result.speedup_vs(baseline) * 100:+8.1f}% "
+            f"{result.l2_misses / 1e6:9.1f}M"
+        )
+
+    # The misses-vs-time linearity the paper points out.
+    print("\ntime per million misses (should be roughly constant):")
+    for mode, result in rows:
+        print(f"  {mode:12s} {result.seconds / (result.l2_misses / 1e6) * 1e3:.2f} ms/M")
+
+
+if __name__ == "__main__":
+    main()

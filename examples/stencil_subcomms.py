@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""A 2-D halo-exchange application on sub-communicators.
+
+Eight ranks arranged as a 4x2 grid solve a toy Jacobi-style stencil:
+each iteration exchanges row halos (within column communicators) and
+column halos (within row communicators), then sweeps its local block,
+and finally agrees on a residual with an allreduce on COMM_WORLD.
+
+Run once per transfer strategy to see how much of a real application's
+step time the intranode transport decides — and how the adaptive policy
+(DMAmin + locality) matches the best fixed choice without being told.
+"""
+
+import numpy as np
+
+from repro import run_mpi, xeon_e5345
+from repro.units import KiB, MiB
+
+ROWS, COLS = 4, 2
+ITERATIONS = 6
+BLOCK = 6 * MiB        # local working set per rank
+HALO = 2 * MiB         # one halo face (communication-heavy regime)
+
+
+def make_main():
+    def main(ctx):
+        comm = ctx.comm
+        # Grid coordinates and the row/column communicators.
+        my_row, my_col = ctx.rank // COLS, ctx.rank % COLS
+        row_comm = yield comm.Split(color=my_row, key=my_col)
+        col_comm = yield comm.Split(color=my_col, key=my_row)
+
+        block = ctx.alloc(BLOCK, name=f"block.r{ctx.rank}")
+        halo_s = ctx.alloc(HALO)
+        halo_r = ctx.alloc(HALO)
+        resid_s = ctx.alloc(8)
+        resid_r = ctx.alloc(8)
+
+        t0 = ctx.now
+        for it in range(ITERATIONS):
+            # Halo exchange along the column (north/south neighbours).
+            up = (col_comm.rank - 1) % col_comm.size
+            down = (col_comm.rank + 1) % col_comm.size
+            yield col_comm.Sendrecv(halo_s, down, halo_r, up, 10 + it, 10 + it)
+            # Halo exchange along the row (east/west neighbours).
+            left = (row_comm.rank - 1) % row_comm.size
+            right = (row_comm.rank + 1) % row_comm.size
+            yield row_comm.Sendrecv(halo_s, right, halo_r, left, 50 + it, 50 + it)
+            # Local sweep: stream the block through the caches.
+            yield ctx.touch(block, write=True, intensity=1.5)
+            # Global residual.
+            yield comm.Allreduce(resid_s, resid_r)
+        return ctx.now - t0
+
+    return main
+
+
+def main():
+    topo = xeon_e5345()
+    print(
+        f"{ROWS}x{COLS} stencil, {ITERATIONS} iterations, "
+        f"{BLOCK // MiB} MiB blocks, {HALO // KiB} KiB halos\n"
+    )
+    results = {}
+    for mode in ["default", "vmsplice-dynamic", "knem", "adaptive"]:
+        r = run_mpi(topo, ROWS * COLS, make_main(), mode=mode)
+        per_iter = max(res for res in r.results) / ITERATIONS
+        results[mode] = per_iter
+        print(f"{mode:18s} {per_iter * 1e3:7.2f} ms/iteration  "
+              f"(L2 misses {r.l2_misses() / 1e6:.1f}M)")
+    best_fixed = min(v for k, v in results.items() if k != "adaptive")
+    gain = best_fixed / results["adaptive"] - 1
+    if gain >= 0:
+        print(
+            f"\nadaptive beats the best fixed strategy by {gain * 100:.1f}% — "
+            "it offloads the 2 MiB halos to I/OAT (past DMAmin), keeping the "
+            "caches warm for the 6 MiB block sweeps"
+        )
+    else:
+        print(f"\nadaptive trails the best fixed strategy by {-gain * 100:.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""repro — a simulation-based reproduction of *Cache-Efficient,
+Intranode, Large-Message MPI Communication with MPICH2-Nemesis*
+(Buntinas, Goglin, Goodell, Mercier, Moreaud — ICPP 2009).
+
+Quickstart::
+
+    from repro import run_mpi, xeon_e5345
+    from repro.units import MiB
+
+    def main(ctx):
+        comm = ctx.comm
+        buf = ctx.alloc(1 * MiB)
+        if ctx.rank == 0:
+            yield comm.Send(buf, dest=1)
+        else:
+            status = yield comm.Recv(buf, source=0)
+            print(status.path)          # "knem"
+
+    result = run_mpi(xeon_e5345(), nprocs=2, main=main,
+                     bindings=[0, 4], mode="knem")
+    print(result.elapsed, result.l2_misses())
+
+Layers (see DESIGN.md): :mod:`repro.sim` (event engine),
+:mod:`repro.hw` (caches, FSB, DRAM, I/OAT), :mod:`repro.kernel`
+(pipes/vmsplice, KNEM device), :mod:`repro.mpi` (Nemesis runtime),
+:mod:`repro.core` (the LMT backends and threshold policy — the paper's
+contribution), :mod:`repro.bench` (IMB + NAS + figure/table
+generators).
+"""
+
+from repro.core.policy import LmtConfig, LmtPolicy, MODES
+from repro.hw.machine import Machine
+from repro.hw.params import HwParams
+from repro.hw.presets import nehalem8, xeon_e5345, xeon_x5460
+from repro.hw.topology import TopologySpec
+from repro.mpi.communicator import ANY_SOURCE, ANY_TAG, Communicator
+from repro.mpi.world import MpiRunResult, RankContext, run_mpi
+from repro.sim.engine import Engine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "run_mpi",
+    "RankContext",
+    "MpiRunResult",
+    "Communicator",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "LmtConfig",
+    "LmtPolicy",
+    "MODES",
+    "Machine",
+    "HwParams",
+    "TopologySpec",
+    "xeon_e5345",
+    "xeon_x5460",
+    "nehalem8",
+    "Engine",
+    "__version__",
+]

@@ -1,0 +1,35 @@
+"""Benchmark harness: IMB kernels, NAS skeletons, figure/table generators.
+
+Every evaluation artifact of the paper has a generator here:
+
+- Figures 3-6: IMB PingPong sweeps (:mod:`repro.bench.figures`);
+- Figure 7: IMB Alltoall aggregated throughput;
+- Table 1: NAS Parallel Benchmark execution times (:mod:`repro.bench.nas`);
+- Table 2: L2 cache-miss counts;
+- Sec. 3.5 thresholds and the ablation sweeps.
+
+``python -m repro.bench --figure 4`` regenerates any of them from the
+command line; the ``benchmarks/`` directory wires them into
+pytest-benchmark.
+"""
+
+from repro.bench.imb import (
+    AlltoallResult,
+    PingPongResult,
+    imb_alltoall,
+    imb_pingpong,
+)
+from repro.bench.harness import Series, Sweep, sweep_sizes
+from repro.bench.reporting import format_series_table, format_table
+
+__all__ = [
+    "PingPongResult",
+    "AlltoallResult",
+    "imb_pingpong",
+    "imb_alltoall",
+    "Series",
+    "Sweep",
+    "sweep_sizes",
+    "format_series_table",
+    "format_table",
+]

@@ -1,0 +1,97 @@
+"""ASCII line charts for the figure sweeps.
+
+``repro-bench --figure 5 --chart`` renders the sweep the way the paper
+plots it: log-2 x axis of message sizes, linear y axis of throughput,
+one mark per curve.  Pure text — usable over ssh, in CI logs, and in
+the test suite.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from repro.bench.harness import Sweep
+from repro.errors import BenchmarkError
+from repro.units import fmt_size
+
+__all__ = ["ascii_chart", "MARKS"]
+
+#: One plotting mark per series, cycled.
+MARKS = "*o+x#@%&"
+
+
+def ascii_chart(
+    sweep: Sweep,
+    width: int = 72,
+    height: int = 20,
+    y_max: Optional[float] = None,
+) -> str:
+    """Render a sweep as an ASCII chart (log-2 x, linear y)."""
+    if not sweep.series or not sweep.series[0].points:
+        raise BenchmarkError("cannot chart an empty sweep")
+    if width < 20 or height < 5:
+        raise BenchmarkError(f"chart too small: {width}x{height}")
+
+    xs = sweep.xs
+    x_lo, x_hi = math.log2(xs[0]), math.log2(xs[-1])
+    x_span = max(x_hi - x_lo, 1e-9)
+    top = y_max if y_max is not None else max(max(s.ys) for s in sweep.series)
+    top = max(top, 1e-9)
+
+    # Grid of characters, row 0 = top.
+    grid = [[" "] * width for _ in range(height)]
+
+    def col_of(x: int) -> int:
+        return round((math.log2(x) - x_lo) / x_span * (width - 1))
+
+    def row_of(y: float) -> int:
+        frac = min(max(y / top, 0.0), 1.0)
+        return (height - 1) - round(frac * (height - 1))
+
+    for si, series in enumerate(sweep.series):
+        mark = MARKS[si % len(MARKS)]
+        previous = None
+        for x, y in series.points:
+            c, r = col_of(x), row_of(y)
+            # Light connecting line (linear interpolation column-wise).
+            if previous is not None:
+                pc, pr = previous
+                span = max(c - pc, 1)
+                for step in range(1, span):
+                    ic = pc + step
+                    ir = round(pr + (r - pr) * step / span)
+                    if grid[ir][ic] == " ":
+                        grid[ir][ic] = "."
+            if grid[r][c] in (" ", "."):
+                grid[r][c] = mark
+            previous = (c, r)
+
+    # Assemble with a y-axis gutter and x labels.
+    gutter = 9
+    lines = [sweep.title]
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = f"{top:8.0f}"
+        elif i == height - 1:
+            label = f"{0:8.0f}"
+        elif i == (height - 1) // 2:
+            label = f"{top / 2:8.0f}"
+        else:
+            label = " " * 8
+        lines.append(label + "|" + "".join(row))
+    lines.append(" " * gutter + "-" * width)
+    left = fmt_size(xs[0])
+    right = fmt_size(xs[-1])
+    mid = fmt_size(xs[len(xs) // 2])
+    pad = width - len(left) - len(mid) - len(right)
+    lines.append(
+        " " * gutter + left + " " * (pad // 2) + mid + " " * (pad - pad // 2) + right
+    )
+    legend = "   ".join(
+        f"{MARKS[i % len(MARKS)]} {s.label}" for i, s in enumerate(sweep.series)
+    )
+    lines.append(" " * gutter + legend)
+    if sweep.ylabel:
+        lines.append(" " * gutter + f"[y: {sweep.ylabel}, x: {sweep.xlabel}]")
+    return "\n".join(lines)

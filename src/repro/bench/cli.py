@@ -1,0 +1,121 @@
+"""Command-line entry point: regenerate any paper artifact.
+
+Examples::
+
+    repro-bench --figure 4
+    repro-bench --figure 7 --fast
+    repro-bench --table 1
+    repro-bench --table 2
+    repro-bench --thresholds
+    repro-bench --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def _parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Regenerate the ICPP'09 MPICH2-Nemesis/KNEM paper's "
+        "figures and tables on the simulated testbed.",
+    )
+    p.add_argument("--figure", type=int, choices=[3, 4, 5, 6, 7], help="figure number")
+    p.add_argument("--table", type=int, choices=[1, 2], help="table number")
+    p.add_argument(
+        "--thresholds",
+        action="store_true",
+        help="run the Sec. 3.5 DMAmin crossover experiments",
+    )
+    p.add_argument("--fast", action="store_true", help="coarser/cheaper sweeps")
+    p.add_argument("--csv", action="store_true", help="CSV output for figures")
+    p.add_argument("--chart", action="store_true", help="ASCII chart for figures")
+    p.add_argument("--save", metavar="FILE", help="save the figure sweep as JSON")
+    p.add_argument(
+        "--compare",
+        metavar="FILE",
+        help="re-run the figure and diff against a saved JSON sweep",
+    )
+    p.add_argument(
+        "--validate",
+        action="store_true",
+        help="check every quantitative paper claim against the simulation",
+    )
+    p.add_argument("--list", action="store_true", help="list available artifacts")
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _parser().parse_args(argv)
+
+    if args.list:
+        print("figures: 3 4 5 6 7")
+        print("tables:  1 2")
+        print("extra:   --thresholds (Sec. 3.5 crossovers)")
+        print("         --validate   (check every paper claim)")
+        return 0
+
+    t0 = time.time()
+    if args.figure:
+        from repro.bench.figures import FIGURES
+        from repro.bench.reporting import format_csv, format_series_table
+
+        sweep = FIGURES[args.figure](fast=args.fast)
+        if args.save:
+            from repro.bench.store import save_sweep
+
+            save_sweep(sweep, args.save)
+            print(f"saved to {args.save}", file=sys.stderr)
+        if args.compare:
+            from repro.bench.store import compare_sweeps, load_sweep
+
+            comparison = compare_sweeps(load_sweep(args.compare), sweep)
+            print(comparison.format())
+            return 0 if comparison.ok else 1
+        if args.chart:
+            from repro.bench.charts import ascii_chart
+
+            print(ascii_chart(sweep))
+        elif args.csv:
+            print(format_csv(sweep))
+        else:
+            print(format_series_table(sweep))
+    elif args.table == 1:
+        from repro.bench.tables.table1 import format_table1, run_table1
+
+        rows = run_table1(iterations_cap=5 if args.fast else 20)
+        print(format_table1(rows))
+    elif args.table == 2:
+        from repro.bench.tables.table2 import format_table2, run_table2
+
+        table = run_table2(is_iterations=2 if args.fast else 5)
+        print(format_table2(table))
+    elif args.validate:
+        from repro.bench.validate import run_validation
+
+        report = run_validation()
+        print(report.format())
+        if not report.all_passed:
+            return 1
+    elif args.thresholds:
+        from repro.core.autotune import find_ioat_crossover
+        from repro.hw.presets import xeon_e5345, xeon_x5460
+
+        for topo, bindings in [
+            (xeon_e5345(), (0, 1)),
+            (xeon_e5345(), (0, 4)),
+            (xeon_x5460(), (0, 1)),
+        ]:
+            print(find_ioat_crossover(topo, bindings).describe())
+    else:
+        _parser().print_help()
+        return 2
+    print(f"\n[{time.time() - t0:.1f}s]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

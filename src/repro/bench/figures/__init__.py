@@ -1,0 +1,17 @@
+"""One generator per figure of the paper's evaluation (Figs. 3-7)."""
+
+from repro.bench.figures.fig3 import run_fig3
+from repro.bench.figures.fig4 import run_fig4
+from repro.bench.figures.fig5 import run_fig5
+from repro.bench.figures.fig6 import run_fig6
+from repro.bench.figures.fig7 import run_fig7
+
+FIGURES = {
+    3: run_fig3,
+    4: run_fig4,
+    5: run_fig5,
+    6: run_fig6,
+    7: run_fig7,
+}
+
+__all__ = ["run_fig3", "run_fig4", "run_fig5", "run_fig6", "run_fig7", "FIGURES"]

@@ -1,0 +1,54 @@
+"""Shared plumbing for the figure generators."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.bench.harness import Sweep, sweep_sizes
+from repro.bench.imb import imb_pingpong
+from repro.core.policy import LmtConfig
+from repro.hw.presets import xeon_e5345
+from repro.hw.topology import TopologySpec
+from repro.units import KiB, MiB
+
+__all__ = [
+    "SHARED_CACHE_BINDING",
+    "DIFFERENT_DIES_BINDING",
+    "default_sizes",
+    "pingpong_sweep",
+]
+
+#: Cores 0 and 1 share a 4 MiB L2 on the E5345.
+SHARED_CACHE_BINDING = (0, 1)
+#: Cores 0 and 4 sit on different sockets (no shared cache); the paper
+#: notes same-socket/different-die behaves the same way (Sec. 4.2).
+DIFFERENT_DIES_BINDING = (0, 4)
+
+
+def default_sizes(fast: bool = False) -> list[int]:
+    """The paper's x axis: 64 KiB to 4 MiB."""
+    per_octave = 1 if fast else 2
+    return sweep_sizes(64 * KiB, 4 * MiB, per_octave=per_octave)
+
+
+def pingpong_sweep(
+    title: str,
+    curves: Sequence[tuple[str, str, tuple[int, int]]],
+    topo: Optional[TopologySpec] = None,
+    sizes: Optional[Sequence[int]] = None,
+    fast: bool = False,
+    eager_threshold: Optional[int] = None,
+) -> Sweep:
+    """Run IMB PingPong for each (label, mode, binding) curve."""
+    topo = topo or xeon_e5345()
+    sizes = list(sizes) if sizes is not None else default_sizes(fast)
+    sweep = Sweep(title=title, xlabel="message size", ylabel="throughput (MiB/s)")
+    for label, mode, binding in curves:
+        config = LmtConfig(mode=mode, eager_threshold=eager_threshold)
+        series = sweep.new_series(label)
+        for nbytes in sizes:
+            result = imb_pingpong(
+                topo, nbytes, mode=mode, bindings=binding, config=config
+            )
+            series.add(nbytes, result.throughput_mib)
+    return sweep

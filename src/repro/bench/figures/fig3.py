@@ -1,0 +1,52 @@
+"""Figure 3 — IMB Pingpong with the vmsplice LMT using vmsplice
+(single-copy) or writev (two copies), shared cache vs different dies.
+
+Paper shape: splicing beats writev "up to a factor of 2"; vs the
+default LMT, vmsplice wins when no cache is shared, loses when one is.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.bench.figures.common import (
+    DIFFERENT_DIES_BINDING,
+    SHARED_CACHE_BINDING,
+    pingpong_sweep,
+)
+from repro.bench.harness import Sweep
+from repro.bench.reporting import format_series_table
+from repro.hw.topology import TopologySpec
+
+__all__ = ["run_fig3", "CURVES"]
+
+CURVES = [
+    ("default LMT - Shared Cache", "default", SHARED_CACHE_BINDING),
+    ("vmsplice LMT - Shared Cache", "vmsplice", SHARED_CACHE_BINDING),
+    ("vmsplice LMT using writev - Shared Cache", "vmsplice-writev", SHARED_CACHE_BINDING),
+    ("default LMT - Different Dies", "default", DIFFERENT_DIES_BINDING),
+    ("vmsplice LMT - Different Dies", "vmsplice", DIFFERENT_DIES_BINDING),
+    ("vmsplice LMT using writev - Different Dies", "vmsplice-writev", DIFFERENT_DIES_BINDING),
+]
+
+
+def run_fig3(
+    topo: Optional[TopologySpec] = None,
+    fast: bool = False,
+    sizes: Optional[Sequence[int]] = None,
+) -> Sweep:
+    return pingpong_sweep(
+        "Figure 3: IMB Pingpong, vmsplice vs writev vs default LMT",
+        CURVES,
+        topo=topo,
+        fast=fast,
+        sizes=sizes,
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI glue
+    print(format_series_table(run_fig3(), unit="MiB/s"))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

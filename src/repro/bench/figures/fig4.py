@@ -1,0 +1,47 @@
+"""Figure 4 — IMB Pingpong throughput between 2 processes sharing a
+4 MiB L2 cache (default / vmsplice / KNEM / KNEM+I/OAT).
+
+Paper shape: default and KNEM run neck-and-neck near 5-6 GiB/s while
+the working set fits the shared cache; everything CPU-driven collapses
+past ~1-2 MiB; I/OAT is flat and wins for very large messages.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.bench.figures.common import SHARED_CACHE_BINDING, pingpong_sweep
+from repro.bench.harness import Sweep
+from repro.bench.reporting import format_series_table
+from repro.hw.topology import TopologySpec
+
+__all__ = ["run_fig4", "CURVES"]
+
+CURVES = [
+    ("default LMT", "default", SHARED_CACHE_BINDING),
+    ("vmsplice LMT", "vmsplice", SHARED_CACHE_BINDING),
+    ("KNEM LMT", "knem", SHARED_CACHE_BINDING),
+    ("KNEM LMT with I/OAT", "knem-ioat", SHARED_CACHE_BINDING),
+]
+
+
+def run_fig4(
+    topo: Optional[TopologySpec] = None,
+    fast: bool = False,
+    sizes: Optional[Sequence[int]] = None,
+) -> Sweep:
+    return pingpong_sweep(
+        "Figure 4: IMB Pingpong, 2 processes sharing a 4MiB L2",
+        CURVES,
+        topo=topo,
+        fast=fast,
+        sizes=sizes,
+    )
+
+
+def main() -> None:  # pragma: no cover
+    print(format_series_table(run_fig4(), unit="MiB/s"))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,47 @@
+"""Figure 5 — IMB Pingpong throughput between 2 processes NOT sharing
+any cache (default / vmsplice / KNEM / KNEM+I/OAT).
+
+Paper shape: "KNEM is more than three times faster than Nemesis and
+twice as fast as vmsplice, reaching up to 3.5 GB/s"; I/OAT overtakes
+the CPU copies for very large messages (factor ~2.5 over Nemesis).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.bench.figures.common import DIFFERENT_DIES_BINDING, pingpong_sweep
+from repro.bench.harness import Sweep
+from repro.bench.reporting import format_series_table
+from repro.hw.topology import TopologySpec
+
+__all__ = ["run_fig5", "CURVES"]
+
+CURVES = [
+    ("default LMT", "default", DIFFERENT_DIES_BINDING),
+    ("vmsplice LMT", "vmsplice", DIFFERENT_DIES_BINDING),
+    ("KNEM LMT", "knem", DIFFERENT_DIES_BINDING),
+    ("KNEM LMT with I/OAT", "knem-ioat", DIFFERENT_DIES_BINDING),
+]
+
+
+def run_fig5(
+    topo: Optional[TopologySpec] = None,
+    fast: bool = False,
+    sizes: Optional[Sequence[int]] = None,
+) -> Sweep:
+    return pingpong_sweep(
+        "Figure 5: IMB Pingpong, 2 processes not sharing any cache",
+        CURVES,
+        topo=topo,
+        fast=fast,
+        sizes=sizes,
+    )
+
+
+def main() -> None:  # pragma: no cover
+    print(format_series_table(run_fig5(), unit="MiB/s"))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

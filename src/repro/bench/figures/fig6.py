@@ -1,0 +1,49 @@
+"""Figure 6 — KNEM synchronous vs asynchronous models.
+
+Paper shape: offloading the copy to a kernel thread (async, no I/OAT)
+*reduces* throughput — the user process's poll loop competes with the
+kthread for the receiving core.  With I/OAT the asynchronous model is
+at least as good as the synchronous one, since the copy and even its
+completion notification run in hardware; hence "KNEM enables the
+asynchronous mode by default only when I/OAT is used."
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.bench.figures.common import DIFFERENT_DIES_BINDING, pingpong_sweep
+from repro.bench.harness import Sweep
+from repro.bench.reporting import format_series_table
+from repro.hw.topology import TopologySpec
+
+__all__ = ["run_fig6", "CURVES"]
+
+CURVES = [
+    ("KNEM LMT - synchronous", "knem", DIFFERENT_DIES_BINDING),
+    ("KNEM LMT - asynchronous", "knem-async", DIFFERENT_DIES_BINDING),
+    ("KNEM LMT - synchronous with I/OAT", "knem-ioat", DIFFERENT_DIES_BINDING),
+    ("KNEM LMT - asynchronous with I/OAT", "knem-ioat-async", DIFFERENT_DIES_BINDING),
+]
+
+
+def run_fig6(
+    topo: Optional[TopologySpec] = None,
+    fast: bool = False,
+    sizes: Optional[Sequence[int]] = None,
+) -> Sweep:
+    return pingpong_sweep(
+        "Figure 6: KNEM synchronous vs asynchronous models",
+        CURVES,
+        topo=topo,
+        fast=fast,
+        sizes=sizes,
+    )
+
+
+def main() -> None:  # pragma: no cover
+    print(format_series_table(run_fig6(), unit="MiB/s"))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,48 @@
+"""CG — Conjugate Gradient, class B, 8 ranks.
+
+Per outer iteration CG runs 25 inner CG steps: each a sparse
+matrix-vector product (streaming the ~26 MiB local matrix slice),
+two ~300 KiB vector-segment exchanges and three 8-byte dot-product
+allreduces.  Messages are medium-sized, so Table 1 shows only noise
+(-2.2 %) across strategies.
+
+Class B: n=75000, ~13.7 M nonzeros, 75 outer iterations.
+"""
+
+from __future__ import annotations
+
+from repro.bench.nas.spec import Compute, Exchange, NasSpec, Reduce, Stream
+from repro.units import KiB, MiB
+
+#: Calibrated so the default-LMT run lands near Table 1's 60.26 s.
+FIXED_COMPUTE = 0.200
+
+#: Effective full-matrix streaming passes per outer iteration: 25
+#: inner CG steps, derated for the partial cache reuse of the vector
+#: and index structures the skeleton does not model separately.
+INNER = 12
+
+SPEC = NasSpec(
+    name="cg",
+    klass="B",
+    nprocs=8,
+    iterations=75,
+    arrays={
+        "matrix": 26 * MiB,   # local sparse matrix slice (values+indices)
+        "vector": 600 * KiB,  # local vector segment
+    },
+    init=[
+        Stream("matrix", passes=1, write=True),
+    ],
+    iteration=(
+        [
+            Stream("matrix", passes=float(INNER), intensity=1.2),
+            Stream("vector", passes=float(INNER), write=True),
+            Exchange(nbytes=300 * KiB, count=4),
+            Reduce(nbytes=8, count=6),
+            Compute(FIXED_COMPUTE),
+        ]
+    ),
+    paper_default_seconds=60.26,
+    notes="medium messages; paper delta is noise (-2.2%)",
+)

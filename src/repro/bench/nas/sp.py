@@ -1,0 +1,37 @@
+"""SP — Scalar Pentadiagonal solver, class B, 8 ranks.
+
+Like BT but with more, smaller timesteps and ~1 MiB face exchanges;
+Table 1 shows +0.9 % (noise).
+
+Class B: 102^3 grid over 8 ranks, 400 timesteps.
+"""
+
+from __future__ import annotations
+
+from repro.bench.nas.spec import Compute, Exchange, NasSpec, Stream
+from repro.units import MiB
+
+#: Calibrated so the default-LMT run lands near Table 1's 302.0 s.
+FIXED_COMPUTE = 0.495
+
+SPEC = NasSpec(
+    name="sp",
+    klass="B",
+    nprocs=8,
+    iterations=400,
+    arrays={
+        "grid": 50 * MiB,
+    },
+    init=[
+        Stream("grid", passes=1, write=True),
+    ],
+    iteration=[
+        Exchange(nbytes=1 * MiB, count=2),
+        Stream("grid", passes=1, intensity=1.4, write=True),
+        Exchange(nbytes=1 * MiB, count=2),
+        Stream("grid", passes=1, intensity=1.4, write=True),
+        Compute(FIXED_COMPUTE),
+    ],
+    paper_default_seconds=302.0,
+    notes="compute-bound; paper delta +0.9%",
+)

@@ -1,0 +1,148 @@
+"""Phase-based NAS benchmark specifications."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Union
+
+from repro.errors import BenchmarkError
+
+__all__ = [
+    "Compute",
+    "Stream",
+    "Exchange",
+    "Alltoall",
+    "Alltoallv",
+    "Reduce",
+    "Phase",
+    "NasSpec",
+    "scale_spec",
+]
+
+
+@dataclass(frozen=True)
+class Compute:
+    """Fixed arithmetic time per rank (no memory traffic)."""
+
+    seconds: float
+
+
+@dataclass(frozen=True)
+class Stream:
+    """Scan a named working-set array through the caches.
+
+    ``passes`` full sweeps; ``write`` marks it a producer pass;
+    ``intensity`` scales the per-byte instruction cost (arithmetic per
+    element).
+    """
+
+    array: str
+    passes: float = 1.0
+    write: bool = False
+    intensity: float = 1.0
+
+
+@dataclass(frozen=True)
+class Exchange:
+    """``count`` sendrecv rounds of ``nbytes`` with ring neighbours."""
+
+    nbytes: int
+    count: int = 1
+
+
+@dataclass(frozen=True)
+class Alltoall:
+    """Equal-block alltoall; ``block`` bytes per peer."""
+
+    block: int
+
+
+@dataclass(frozen=True)
+class Alltoallv:
+    """Variable alltoall with ``per_peer`` average bytes per peer."""
+
+    per_peer: int
+
+
+@dataclass(frozen=True)
+class Reduce:
+    """Allreduce of ``nbytes`` (dot products, residuals...)."""
+
+    nbytes: int
+    count: int = 1
+
+
+Phase = Union[Compute, Stream, Exchange, Alltoall, Alltoallv, Reduce]
+
+
+@dataclass(frozen=True)
+class NasSpec:
+    """One NAS benchmark instance (name.class.nprocs)."""
+
+    name: str
+    klass: str
+    nprocs: int
+    iterations: int
+    #: Per-rank named working sets (bytes).
+    arrays: dict[str, int]
+    #: Executed once per iteration, in order.
+    iteration: Sequence[Phase]
+    #: Executed once before the timed region.
+    init: Sequence[Phase] = field(default_factory=tuple)
+    #: Paper Table 1 reference time for the default LMT (seconds).
+    paper_default_seconds: float = 0.0
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        if self.nprocs < 1 or self.iterations < 1:
+            raise BenchmarkError(f"bad spec {self.name}")
+        for phase in list(self.init) + list(self.iteration):
+            if isinstance(phase, Stream) and phase.array not in self.arrays:
+                raise BenchmarkError(
+                    f"{self.name}: stream over unknown array {phase.array!r}"
+                )
+
+    @property
+    def label(self) -> str:
+        return f"{self.name}.{self.klass}.{self.nprocs}"
+
+
+def _scale_phase(phase: Phase, vol: float, surface: float) -> Phase:
+    """Scale one phase by problem-volume and surface factors."""
+    if isinstance(phase, Compute):
+        return Compute(phase.seconds * vol)
+    if isinstance(phase, Exchange):
+        return Exchange(nbytes=max(1, int(phase.nbytes * surface)), count=phase.count)
+    if isinstance(phase, Alltoall):
+        return Alltoall(block=max(1, int(phase.block * vol)))
+    if isinstance(phase, Alltoallv):
+        return Alltoallv(per_peer=max(1, int(phase.per_peer * vol)))
+    # Stream (follows the arrays) and Reduce (fixed-size) are unchanged.
+    return phase
+
+
+def scale_spec(
+    base: NasSpec,
+    klass: str,
+    vol: float,
+    iterations: int,
+    paper_default_seconds: float = 0.0,
+) -> NasSpec:
+    """Derive another problem class from a class-B spec.
+
+    ``vol`` is the working-set/compute volume ratio to class B; face
+    exchanges scale with the surface (``vol ** (2/3)``), global
+    exchanges and compute with the volume, per NPB geometry.
+    """
+    surface = vol ** (2.0 / 3.0)
+    return NasSpec(
+        name=base.name,
+        klass=klass,
+        nprocs=base.nprocs,
+        iterations=iterations,
+        arrays={k: max(4096, int(v * vol)) for k, v in base.arrays.items()},
+        iteration=[_scale_phase(ph, vol, surface) for ph in base.iteration],
+        init=[_scale_phase(ph, vol, surface) for ph in base.init],
+        paper_default_seconds=paper_default_seconds,
+        notes=base.notes,
+    )

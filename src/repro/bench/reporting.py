@@ -1,0 +1,65 @@
+"""ASCII rendering of benchmark results (paper-style tables/series)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.bench.harness import Sweep
+from repro.units import fmt_size
+
+__all__ = ["format_series_table", "format_table", "format_csv"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Fixed-width ASCII table."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_series_table(sweep: Sweep, unit: str = "") -> str:
+    """Render a figure's curves as one row per x value."""
+    headers = ["size"] + [s.label for s in sweep.series]
+    rows = []
+    for x in sweep.xs:
+        row: list[object] = [fmt_size(x)]
+        for s in sweep.series:
+            row.append(s.y_at(x))
+        rows.append(row)
+    title = sweep.title
+    if unit or sweep.ylabel:
+        title += f"  [{unit or sweep.ylabel}]"
+    return format_table(headers, rows, title=title)
+
+
+def format_csv(sweep: Sweep) -> str:
+    lines = ["size," + ",".join(s.label for s in sweep.series)]
+    for x in sweep.xs:
+        lines.append(
+            f"{x}," + ",".join(f"{s.y_at(x):.3f}" for s in sweep.series)
+        )
+    return "\n".join(lines)

@@ -1,0 +1,6 @@
+"""Generators for the paper's tables."""
+
+from repro.bench.tables.table1 import run_table1
+from repro.bench.tables.table2 import run_table2
+
+__all__ = ["run_table1", "run_table2"]

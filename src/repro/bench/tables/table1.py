@@ -1,0 +1,101 @@
+"""Table 1 — Execution time of some NAS Parallel Benchmarks.
+
+Columns: default LMT, vmsplice LMT, KNEM kernel copy, KNEM I/OAT, and
+the speedup of KNEM+I/OAT over the default (the paper's last column).
+
+The mg.B.8/vmsplice cell reproduces the paper's footnote: that
+combination hung on the real system due to a known, unrelated Nemesis
+bug; here it runs, and the generator annotates the cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.bench.nas import BENCHMARKS, run_nas
+from repro.bench.nas.runner import NasResult
+from repro.bench.reporting import format_table
+from repro.hw.presets import xeon_e5345
+from repro.hw.topology import TopologySpec
+
+__all__ = ["run_table1", "Table1Row", "MODES1"]
+
+MODES1 = ["default", "vmsplice", "knem", "knem-ioat"]
+
+#: Paper Table 1 values (seconds), for EXPERIMENTS.md comparisons.
+PAPER_TABLE1 = {
+    "bt.B.4": (454.3, 452.1, 453.6, 452.3, 0.004),
+    "cg.B.8": (60.26, 61.87, 60.72, 61.59, -0.022),
+    "ep.B.4": (30.45, 30.94, 32.40, 30.72, -0.009),
+    "ft.B.8": (39.25, 37.00, 36.40, 35.50, 0.106),
+    "is.B.8": (2.34, 1.95, 1.92, 1.86, 0.258),
+    "lu.B.8": (85.83, 87.45, 86.09, 88.32, -0.029),
+    "mg.B.8": (7.81, None, 7.89, 7.98, -0.021),  # vmsplice hung (paper)
+    "sp.B.8": (302.0, 311.4, 298.9, 299.4, 0.009),
+}
+
+
+@dataclass
+class Table1Row:
+    label: str
+    seconds: dict[str, float] = field(default_factory=dict)
+    results: dict[str, NasResult] = field(default_factory=dict)
+    note: str = ""
+
+    @property
+    def speedup(self) -> float:
+        """KNEM+I/OAT improvement over the default LMT."""
+        return self.seconds["default"] / self.seconds["knem-ioat"] - 1.0
+
+
+def run_table1(
+    topo: Optional[TopologySpec] = None,
+    benchmarks: Optional[Sequence[str]] = None,
+    iterations_cap: Optional[int] = 20,
+    modes: Sequence[str] = MODES1,
+) -> list[Table1Row]:
+    """Regenerate Table 1.
+
+    ``iterations_cap`` bounds per-benchmark iterations for tractable
+    simulation; times extrapolate linearly (the skeletons are
+    steady-state periodic).
+    """
+    topo = topo or xeon_e5345()
+    rows: list[Table1Row] = []
+    for label, spec in BENCHMARKS.items():
+        if benchmarks is not None and label not in benchmarks:
+            continue
+        iters = (
+            min(spec.iterations, iterations_cap) if iterations_cap else spec.iterations
+        )
+        row = Table1Row(label=label, note=spec.notes)
+        for mode in modes:
+            result = run_nas(spec, topo, mode=mode, iterations=iters)
+            row.seconds[mode] = result.seconds
+            row.results[mode] = result
+        rows.append(row)
+    return rows
+
+
+def format_table1(rows: list[Table1Row]) -> str:
+    headers = ["NAS Kernel", "default", "vmsplice", "KNEM copy", "KNEM I/OAT", "Speedup"]
+    body = []
+    for row in rows:
+        cells = [row.label]
+        for mode in MODES1:
+            text = f"{row.seconds[mode]:.2f} s"
+            if row.label == "mg.B.8" and mode == "vmsplice":
+                text += " (paper: hang)"
+            cells.append(text)
+        cells.append(f"{row.speedup * 100:+.1f}%")
+        body.append(cells)
+    return format_table(headers, body, title="Table 1: NAS Parallel Benchmark execution times")
+
+
+def main() -> None:  # pragma: no cover
+    print(format_table1(run_table1()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

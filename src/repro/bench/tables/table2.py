@@ -1,0 +1,123 @@
+"""Table 2 — L2 cache misses.
+
+Paper setup: "IS and Alltoall used all 8 cores.  Pingpong processes
+were bound to different dies."  Rows: 64 KiB / 4 MiB Pingpong,
+64 KiB / 4 MiB Alltoall, is.B.8; columns: the four strategies.
+
+Shape to reproduce: single-copy strategies miss far less than the
+double-buffering default; I/OAT (cache-bypassing) misses least at
+4 MiB; IS totals differ by ~20 % and track execution time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.bench.imb import imb_alltoall, imb_pingpong
+from repro.bench.nas import BENCHMARKS, run_nas
+from repro.bench.reporting import format_table
+from repro.core.policy import LmtConfig
+from repro.hw.presets import xeon_e5345
+from repro.hw.topology import TopologySpec
+from repro.units import KiB, MiB
+
+__all__ = ["run_table2", "Table2", "MODES2"]
+
+MODES2 = ["default", "vmsplice", "knem", "knem-ioat"]
+
+#: Paper Table 2 values, for EXPERIMENTS.md comparisons.
+PAPER_TABLE2 = {
+    "64KiB Pingpong": (91, 166, 52, 92),
+    "4MiB Pingpong": (45e3, 17e3, 14e3, 3.7e3),
+    "64KiB Alltoall": (2783, 1266, 582, 833),
+    "4MiB Alltoall": (624e3, 124e3, 262e3, 131e3),
+    "is.B.8": (11.25e6, 9.41e6, 9.50e6, 8.92e6),
+}
+
+
+@dataclass
+class Table2:
+    """Measured L2 misses per workload x strategy."""
+
+    misses: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def row(self, workload: str) -> dict[str, float]:
+        return self.misses[workload]
+
+
+def run_table2(
+    topo: Optional[TopologySpec] = None,
+    is_iterations: int = 5,
+    pingpong_reps: int = 4,
+    alltoall_reps: int = 2,
+) -> Table2:
+    """Regenerate Table 2.
+
+    Pingpong misses are per measured repetition set (both ranks,
+    post-warmup), like the paper's per-run PAPI counts; IS totals are
+    whole-run, extrapolated from ``is_iterations`` iterations.
+    """
+    topo = topo or xeon_e5345()
+    table = Table2()
+
+    def _per_mode(fn):
+        return {mode: fn(mode) for mode in MODES2}
+
+    table.misses["64KiB Pingpong"] = _per_mode(
+        lambda mode: imb_pingpong(
+            topo, 64 * KiB, mode=mode, bindings=(0, 4), repetitions=pingpong_reps
+        ).l2_misses
+        / pingpong_reps
+    )
+    table.misses["4MiB Pingpong"] = _per_mode(
+        lambda mode: imb_pingpong(
+            topo, 4 * MiB, mode=mode, bindings=(0, 4), repetitions=pingpong_reps
+        ).l2_misses
+        / pingpong_reps
+    )
+    table.misses["64KiB Alltoall"] = _per_mode(
+        lambda mode: imb_alltoall(
+            topo,
+            64 * KiB,
+            mode=mode,
+            repetitions=alltoall_reps,
+            config=LmtConfig(mode=mode, eager_threshold=2 * KiB),
+        ).l2_misses
+        / alltoall_reps
+    )
+    table.misses["4MiB Alltoall"] = _per_mode(
+        lambda mode: imb_alltoall(
+            topo, 4 * MiB, mode=mode, repetitions=alltoall_reps
+        ).l2_misses
+        / alltoall_reps
+    )
+    spec = BENCHMARKS["is.B.8"]
+    table.misses["is.B.8"] = _per_mode(
+        lambda mode: run_nas(spec, topo, mode=mode, iterations=is_iterations).l2_misses
+    )
+    return table
+
+
+def format_table2(table: Table2) -> str:
+    headers = ["workload", "default", "vmsplice", "KNEM copy", "KNEM I/OAT"]
+    rows = []
+    for workload, by_mode in table.misses.items():
+        rows.append([workload] + [_fmt_misses(by_mode[m]) for m in MODES2])
+    return format_table(headers, rows, title="Table 2: L2 cache misses")
+
+
+def _fmt_misses(value: float) -> str:
+    if value >= 1e6:
+        return f"{value / 1e6:.2f}M"
+    if value >= 1e3:
+        return f"{value / 1e3:.1f}k"
+    return f"{value:.0f}"
+
+
+def main() -> None:  # pragma: no cover
+    print(format_table2(run_table2()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,89 @@
+"""Per-core activity timelines from trace records.
+
+Run any simulation with ``trace=True``, then render what each core and
+the DMA engine were doing over time::
+
+    result = run_mpi(topo, 2, main, bindings=[0, 4],
+                     mode="knem-ioat", trace=True)
+    print(render_timeline(result.machine.engine.tracer,
+                          ncores=topo.ncores))
+
+Lanes show ``#`` where a CPU copy was in flight and the DMA lane shows
+``=`` during device transfers — the visual version of the paper's
+Fig. 2 (asynchronous transfer with I/OAT copy offload): the core lanes
+go quiet while the DMA lane fills.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import BenchmarkError
+from repro.sim.trace import Tracer
+
+__all__ = ["render_timeline", "core_busy_fraction"]
+
+
+def _bounds(tracer: Tracer) -> tuple[float, float]:
+    spans = [
+        (r.time, r.fields.get("end", r.time))
+        for r in tracer.records
+        if r.kind in ("copy", "dma")
+    ]
+    if not spans:
+        raise BenchmarkError("no copy/dma trace records; run with trace=True")
+    return min(t for t, _ in spans), max(e for _, e in spans)
+
+
+def render_timeline(
+    tracer: Tracer,
+    ncores: int,
+    width: int = 72,
+    t0: Optional[float] = None,
+    t1: Optional[float] = None,
+) -> str:
+    """ASCII lanes: one per core plus one for the DMA engine."""
+    lo, hi = _bounds(tracer)
+    t0 = lo if t0 is None else t0
+    t1 = hi if t1 is None else t1
+    span = max(t1 - t0, 1e-12)
+
+    lanes = {c: [" "] * width for c in range(ncores)}
+    dma_lane = [" "] * width
+
+    def cols(start: float, end: float) -> range:
+        a = int((start - t0) / span * (width - 1))
+        b = int((end - t0) / span * (width - 1))
+        a = min(max(a, 0), width - 1)
+        b = min(max(b, a), width - 1)
+        return range(a, b + 1)
+
+    for record in tracer.records:
+        end = record.fields.get("end", record.time)
+        if record.kind == "copy":
+            lane = lanes.get(record.fields.get("core"))
+            if lane is not None:
+                for c in cols(record.time, end):
+                    lane[c] = "#"
+        elif record.kind == "dma":
+            for c in cols(record.time, end):
+                dma_lane[c] = "="
+
+    lines = [f"timeline [{t0 * 1e6:.1f}us .. {t1 * 1e6:.1f}us]"]
+    for core in range(ncores):
+        lines.append(f"core{core:<3d}|" + "".join(lanes[core]))
+    lines.append("dma    |" + "".join(dma_lane))
+    lines.append("       " + "-" * width)
+    lines.append("       # cpu copy   = dma transfer")
+    return "\n".join(lines)
+
+
+def core_busy_fraction(tracer: Tracer, core: int) -> float:
+    """Fraction of the traced window this core spent copying."""
+    lo, hi = _bounds(tracer)
+    busy = sum(
+        record.fields.get("end", record.time) - record.time
+        for record in tracer.records
+        if record.kind == "copy" and record.fields.get("core") == core
+    )
+    return min(busy / max(hi - lo, 1e-12), 1.0)

@@ -1,0 +1,286 @@
+"""Programmatic validation of the paper's quantitative claims.
+
+Each :class:`Claim` pairs a quote (or paraphrase) from the paper with a
+check against the simulated testbed.  ``repro-bench --validate`` runs
+the suite and prints a pass/fail report — the executable version of
+EXPERIMENTS.md.
+
+Checks run on reduced sweeps, so the whole suite completes in a couple
+of minutes; the full-resolution numbers come from the individual
+figure/table generators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.bench.imb import imb_alltoall, imb_pingpong
+from repro.core.policy import LmtConfig
+from repro.hw.presets import xeon_e5345, xeon_x5460
+from repro.hw.topology import TopologySpec
+from repro.units import KiB, MiB
+
+__all__ = ["Claim", "ClaimResult", "ValidationReport", "run_validation", "CLAIMS"]
+
+SHARED = (0, 1)
+REMOTE = (0, 4)
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One falsifiable statement from the paper."""
+
+    claim_id: str
+    source: str         # paper location
+    statement: str      # the claim, quoted or paraphrased
+    check: Callable[["_Lab"], tuple[bool, str]]
+
+
+@dataclass(frozen=True)
+class ClaimResult:
+    claim: Claim
+    passed: bool
+    measured: str
+
+
+@dataclass
+class ValidationReport:
+    results: list[ClaimResult] = field(default_factory=list)
+
+    @property
+    def passed(self) -> int:
+        return sum(1 for r in self.results if r.passed)
+
+    @property
+    def failed(self) -> int:
+        return len(self.results) - self.passed
+
+    @property
+    def all_passed(self) -> bool:
+        return self.failed == 0
+
+    def format(self) -> str:
+        lines = ["Paper-claim validation", "=" * 70]
+        for r in self.results:
+            flag = "PASS" if r.passed else "FAIL"
+            lines.append(f"[{flag}] {r.claim.claim_id}  ({r.claim.source})")
+            lines.append(f"       claim:    {r.claim.statement}")
+            lines.append(f"       measured: {r.measured}")
+        lines.append("=" * 70)
+        lines.append(f"{self.passed} passed, {self.failed} failed")
+        return "\n".join(lines)
+
+
+class _Lab:
+    """Caches pingpong measurements across claims."""
+
+    def __init__(self, topo: Optional[TopologySpec] = None) -> None:
+        self.topo = topo or xeon_e5345()
+        self._pp: dict = {}
+        self._a2a: dict = {}
+
+    def pingpong(self, mode: str, nbytes: int, bindings) -> float:
+        key = (mode, nbytes, tuple(bindings))
+        if key not in self._pp:
+            self._pp[key] = imb_pingpong(
+                self.topo, nbytes, mode=mode, bindings=bindings
+            ).throughput_mib
+        return self._pp[key]
+
+    def alltoall(self, mode: str, block: int, lowered_eager: bool = True) -> float:
+        key = (mode, block, lowered_eager)
+        if key not in self._a2a:
+            config = None
+            if lowered_eager and mode != "default":
+                config = LmtConfig(mode=mode, eager_threshold=2 * KiB)
+            self._a2a[key] = imb_alltoall(
+                self.topo, block, mode=mode, repetitions=2, config=config
+            ).aggregated_mib
+        return self._a2a[key]
+
+
+def _ratio(num: float, den: float) -> str:
+    return f"{num:.0f} vs {den:.0f} MiB/s ({num / den:.2f}x)"
+
+
+# --------------------------------------------------------------- claims
+def _c_fig3_splice_vs_writev(lab: _Lab):
+    v = lab.pingpong("vmsplice", 2 * MiB, SHARED)
+    w = lab.pingpong("vmsplice-writev", 2 * MiB, SHARED)
+    return v > 1.5 * w, _ratio(v, w)
+
+
+def _c_fig3_regime_split(lab: _Lab):
+    v_s = lab.pingpong("vmsplice", 1 * MiB, SHARED)
+    d_s = lab.pingpong("default", 1 * MiB, SHARED)
+    v_r = lab.pingpong("vmsplice", 1 * MiB, REMOTE)
+    d_r = lab.pingpong("default", 1 * MiB, REMOTE)
+    ok = v_s < d_s and v_r > d_r
+    return ok, f"shared {_ratio(v_s, d_s)}; remote {_ratio(v_r, d_r)}"
+
+
+def _c_fig4_knem_almost_default(lab: _Lab):
+    k = lab.pingpong("knem", 1 * MiB, SHARED)
+    d = lab.pingpong("default", 1 * MiB, SHARED)
+    return 0.9 * d <= k <= d * 1.02, _ratio(k, d)
+
+
+def _c_fig5_knem_factor(lab: _Lab):
+    k = lab.pingpong("knem", 1 * MiB, REMOTE)
+    d = lab.pingpong("default", 1 * MiB, REMOTE)
+    return k > 2.2 * d, _ratio(k, d)
+
+
+def _c_fig5_knem_vs_vmsplice(lab: _Lab):
+    k = lab.pingpong("knem", 1 * MiB, REMOTE)
+    v = lab.pingpong("vmsplice", 1 * MiB, REMOTE)
+    return k > 1.3 * v, _ratio(k, v)
+
+
+def _c_fig5_ioat_tail(lab: _Lab):
+    i = lab.pingpong("knem-ioat", 4 * MiB, REMOTE)
+    d = lab.pingpong("default", 4 * MiB, REMOTE)
+    return i > 2.0 * d, _ratio(i, d)
+
+
+def _c_fig6_kthread_competition(lab: _Lab):
+    s = lab.pingpong("knem", 1 * MiB, REMOTE)
+    a = lab.pingpong("knem-async", 1 * MiB, REMOTE)
+    return a < 0.75 * s, _ratio(a, s)
+
+
+def _c_fig6_async_ioat(lab: _Lab):
+    s = lab.pingpong("knem-ioat", 4 * MiB, REMOTE)
+    a = lab.pingpong("knem-ioat-async", 4 * MiB, REMOTE)
+    return a > 0.93 * s, _ratio(a, s)
+
+
+def _c_fig7_knem_medium(lab: _Lab):
+    k = lab.alltoall("knem", 32 * KiB)
+    d = lab.alltoall("default", 32 * KiB, lowered_eager=False)
+    return k > 1.6 * d, _ratio(k, d)
+
+
+def _c_fig7_ioat_tail(lab: _Lab):
+    i = lab.alltoall("knem-ioat", 2 * MiB, lowered_eager=False)
+    d = lab.alltoall("default", 2 * MiB, lowered_eager=False)
+    return i > 1.6 * d, _ratio(i, d)
+
+
+def _c_table1_is_speedup(lab: _Lab):
+    from repro.bench.nas import BENCHMARKS, run_nas
+
+    spec = BENCHMARKS["is.B.8"]
+    base = run_nas(spec, lab.topo, mode="default", iterations=2)
+    fast = run_nas(spec, lab.topo, mode="knem-ioat", iterations=2)
+    s = fast.speedup_vs(base)
+    return 0.15 < s < 0.45, f"{s * 100:+.1f}% (paper +25.8%)"
+
+
+def _c_table1_ep_insensitive(lab: _Lab):
+    from repro.bench.nas import BENCHMARKS, run_nas
+
+    spec = BENCHMARKS["ep.B.4"]
+    base = run_nas(spec, lab.topo, mode="default", iterations=2)
+    fast = run_nas(spec, lab.topo, mode="knem-ioat", iterations=2)
+    s = fast.speedup_vs(base)
+    return abs(s) < 0.03, f"{s * 100:+.2f}% (paper -0.9%, noise)"
+
+
+def _c_table2_pingpong_misses(lab: _Lab):
+    d = imb_pingpong(lab.topo, 4 * MiB, mode="default", bindings=REMOTE).l2_misses
+    k = imb_pingpong(lab.topo, 4 * MiB, mode="knem", bindings=REMOTE).l2_misses
+    i = imb_pingpong(lab.topo, 4 * MiB, mode="knem-ioat", bindings=REMOTE).l2_misses
+    ok = d > k > i
+    return ok, f"default {d:.0f} > knem {k:.0f} > ioat {i:.0f}"
+
+
+def _c_dmamin_formula(lab: _Lab):
+    e = xeon_e5345()
+    x = xeon_x5460()
+    ok = (
+        e.dmamin_bytes(2) == 1 * MiB
+        and e.dmamin_bytes(1) == 2 * MiB
+        and x.dmamin_bytes(2) == int(1.5 * MiB)
+    )
+    return ok, (
+        f"E5345: {e.dmamin_bytes(2)//MiB}MiB/{e.dmamin_bytes(1)//MiB}MiB, "
+        f"X5460: {x.dmamin_bytes(2)/MiB:.1f}MiB"
+    )
+
+
+def _c_threshold_order(lab: _Lab):
+    from repro.core.autotune import find_ioat_crossover
+
+    sizes = [512 * KiB, 1 * MiB, 2 * MiB, 4 * MiB, 8 * MiB]
+    shared = find_ioat_crossover(lab.topo, SHARED, sizes=sizes, repetitions=3)
+    remote = find_ioat_crossover(lab.topo, REMOTE, sizes=sizes, repetitions=3)
+    ok = (
+        shared.measured_crossover is not None
+        and remote.measured_crossover is not None
+        and remote.measured_crossover >= shared.measured_crossover
+    )
+    return ok, f"shared {shared.measured_crossover}, remote {remote.measured_crossover}"
+
+
+CLAIMS = [
+    Claim("fig3-splice-vs-writev", "Sec. 4.1 / Fig. 3",
+          "vmsplice beats writev up to a factor of 2", _c_fig3_splice_vs_writev),
+    Claim("fig3-regime-split", "Sec. 4.1 / Fig. 3",
+          "vmsplice wins across dies, loses under a shared cache",
+          _c_fig3_regime_split),
+    Claim("fig4-knem-almost-default", "Sec. 4.2 / Fig. 4",
+          "with a shared cache KNEM remains almost as fast as Nemesis",
+          _c_fig4_knem_almost_default),
+    Claim("fig5-knem-factor", "Sec. 4.2 / Fig. 5",
+          "KNEM is more than three times faster than Nemesis (we check >2.2x)",
+          _c_fig5_knem_factor),
+    Claim("fig5-knem-vs-vmsplice", "Sec. 4.2 / Fig. 5",
+          "KNEM is twice as fast as vmsplice (we check >1.3x)",
+          _c_fig5_knem_vs_vmsplice),
+    Claim("fig5-ioat-tail", "Secs. 4.2/6 / Fig. 5",
+          "I/OAT improves very large messages by a factor of 2.5 over Nemesis "
+          "(we check >2x)", _c_fig5_ioat_tail),
+    Claim("fig6-kthread-competition", "Sec. 4.3 / Fig. 6",
+          "kernel-thread offload significantly reduces throughput",
+          _c_fig6_kthread_competition),
+    Claim("fig6-async-ioat", "Sec. 4.3 / Fig. 6",
+          "the I/OAT model is not hurt by the asynchronous mode",
+          _c_fig6_async_ioat),
+    Claim("fig7-knem-medium", "Sec. 4.4 / Fig. 7",
+          "Alltoall: KNEM far ahead of the default near 32 KiB (paper 5x; "
+          "we check >1.6x)", _c_fig7_knem_medium),
+    Claim("fig7-ioat-tail", "Sec. 4.4 / Fig. 7",
+          "Alltoall: twice as high for very large messages thanks to I/OAT "
+          "(we check >1.6x)", _c_fig7_ioat_tail),
+    Claim("table1-is-speedup", "Sec. 4.5 / Table 1",
+          "IS shows a ~25% speedup with KNEM and I/OAT", _c_table1_is_speedup),
+    Claim("table1-ep-insensitive", "Sec. 4.5 / Table 1",
+          "benchmarks without large messages show insignificant changes",
+          _c_table1_ep_insensitive),
+    Claim("table2-pingpong-misses", "Sec. 4.5 / Table 2",
+          "single-copy strategies avoid cache misses; I/OAT most of all",
+          _c_table2_pingpong_misses),
+    Claim("dmamin-formula", "Sec. 3.5",
+          "DMAmin = cache/(2 x sharers): 1 MiB shared, 2 MiB unshared, "
+          "+50% on 6 MiB caches", _c_dmamin_formula),
+    Claim("threshold-order", "Sec. 3.5",
+          "the I/OAT threshold jumps when no cache is shared",
+          _c_threshold_order),
+]
+
+
+def run_validation(
+    topo: Optional[TopologySpec] = None,
+    claim_ids: Optional[list[str]] = None,
+) -> ValidationReport:
+    """Run all (or selected) claims; returns the report."""
+    lab = _Lab(topo)
+    report = ValidationReport()
+    for claim in CLAIMS:
+        if claim_ids is not None and claim.claim_id not in claim_ids:
+            continue
+        passed, measured = claim.check(lab)
+        report.results.append(ClaimResult(claim, passed, measured))
+    return report

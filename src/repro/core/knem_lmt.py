@@ -1,0 +1,79 @@
+"""The KNEM LMT backend (Secs. 3.2-3.4).
+
+Sender declares its buffer to the KNEM device at send time; the cookie
+rides the RTS through the normal Nemesis user-space rendezvous (paper:
+"the new KNEM LMT backend in Nemesis uses these commands and passes the
+cookie from sender to receiver through the usual Nemesis user-space
+rendezvous handshake").  The receiver then issues the receive command;
+the kernel (or the I/OAT engine) moves the data in a single copy, and a
+DONE packet releases the sender.
+
+Modes, chosen per transfer by :class:`~repro.core.policy.LmtPolicy`:
+
+========================== ========================================
+``ioat=False, async=False`` synchronous kernel copy on the receiver core
+``ioat=False, async=True``  kernel-thread copy; the user-space poll
+                            loop competes with the kthread (Fig. 6)
+``ioat=True,  async=False`` DMA offload, driver polls for completion
+``ioat=True,  async=True``  DMA offload + in-order status write; the
+                            library polls the status variable
+========================== ========================================
+"""
+
+from __future__ import annotations
+
+from repro.core.lmt import LmtBackend, TransferSide, busy_poll_wait
+from repro.errors import LmtError
+from repro.kernel.knem import KnemFlags
+
+__all__ = ["KnemLmt"]
+
+
+class KnemLmt(LmtBackend):
+    """Single-copy transfers through the KNEM pseudo-device."""
+
+    receiver_sends_done = True  # the receiver consumes the sender's pages
+
+    def __init__(self, ioat: bool = False, async_mode: bool = False) -> None:
+        self.ioat = ioat
+        self.async_mode = async_mode
+        self.name = "knem" + ("+ioat" if ioat else "") + ("+async" if async_mode else "")
+
+    # ------------------------------------------------------------ sender
+    def sender_start(self, side: TransferSide):
+        knem = side.world.knem
+        cookie = yield from knem.send_cmd(side.core, side.views)
+        return {"cookie": cookie}
+
+    def sender_on_cts(self, side: TransferSide, cts_info: dict):
+        # Nothing to do: the receiver drives the whole transfer.  The
+        # communicator parks the sender until DONE arrives.
+        yield from ()
+
+    # ---------------------------------------------------------- receiver
+    def receiver_transfer(self, side: TransferSide, rts_info: dict):
+        knem = side.world.knem
+        machine = side.machine
+        cookie = rts_info.get("cookie")
+        if cookie is None:
+            raise LmtError("KNEM RTS carried no cookie")
+
+        flags = KnemFlags.NONE
+        if self.ioat:
+            flags |= KnemFlags.IOAT
+        if self.async_mode:
+            flags |= KnemFlags.ASYNC
+
+        status = yield from knem.recv_cmd(side.core, cookie, side.views, flags)
+        if not status.completed:
+            if self.ioat:
+                # Background DMA: the library polls the status variable
+                # once per progress-loop pass (cheap; the DMA engine is
+                # not on this core, so polling costs only latency).
+                yield status.done
+                yield machine.params.t_poll_period
+            else:
+                # Kernel-thread copy on this very core: the user-space
+                # poll loop and the kthread compete (Fig. 6 slowdown).
+                yield from busy_poll_wait(machine, side.core, status.done)
+        return self.name

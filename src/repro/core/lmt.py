@@ -1,0 +1,105 @@
+"""The LMT backend interface.
+
+A large-message transfer runs as a rendezvous:
+
+====== =============================== ===========================
+step    sender                          receiver
+====== =============================== ===========================
+1       ``sender_start`` -> info        —
+2       RTS(info) ------------------->  match posted receive
+3       —                               ``receiver_prepare`` -> info
+4       CTS(info) <-------------------  —
+5       ``sender_on_cts``               ``receiver_transfer``
+6       [wait DONE] <-- DONE if ``receiver_sends_done``
+====== =============================== ===========================
+
+Backends fill in the hooks; the communicator drives the protocol.  All
+hooks are generators executed inside the owning process's context, so
+CPU time lands on the right core automatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.kernel.address_space import BufferView
+
+__all__ = ["TransferSide", "LmtBackend", "busy_poll_wait"]
+
+
+@dataclass
+class TransferSide:
+    """Everything a backend hook needs about its side of one transfer."""
+
+    world: Any           # MpiWorld (duck-typed to avoid import cycles)
+    rank: int
+    core: int
+    peer_rank: int
+    peer_core: int
+    views: list[BufferView]
+    nbytes: int
+    txn: int
+
+    @property
+    def machine(self):
+        return self.world.machine
+
+    @property
+    def engine(self):
+        return self.world.engine
+
+    @property
+    def shares_cache(self) -> bool:
+        return self.machine.topo.shares_cache(self.core, self.peer_core)
+
+
+class LmtBackend:
+    """Base class; see the module docstring for the protocol."""
+
+    #: Wire name, also the Status.path reported to applications.
+    name = "?"
+    #: Does MPI_Send block until the receiver confirms the copy?
+    #: (True whenever the receiver reads the sender's pages directly.)
+    receiver_sends_done = False
+
+    # -- sender hooks ---------------------------------------------------
+    def sender_start(self, side: TransferSide):
+        """Pre-RTS work (e.g. KNEM declare).  Returns the info dict
+        carried by the RTS packet.  Generator."""
+        yield from ()
+        return {}
+
+    def sender_on_cts(self, side: TransferSide, cts_info: dict):
+        """Sender-side transfer work after the CTS arrives.  Generator."""
+        yield from ()
+
+    # -- receiver hooks ---------------------------------------------------
+    def receiver_prepare(self, side: TransferSide, rts_info: dict):
+        """Pre-CTS receiver work.  Returns the CTS info dict.  Generator."""
+        yield from ()
+        return {}
+
+    def receiver_transfer(self, side: TransferSide, rts_info: dict):
+        """Receiver-side transfer; completes when the data is in place.
+        Returns the path string for the Status.  Generator."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<LMT {self.name}>"
+
+
+def busy_poll_wait(machine, core: int, event, quantum: float | None = None):
+    """Wait for ``event`` while burning CPU on ``core`` (a user-space
+    progress/poll loop).
+
+    This is how waiting on an asynchronous KNEM status variable is
+    modeled: the polling loop occupies the core, so a kernel thread
+    copying on the same core runs at half speed — the competition the
+    paper reports in Fig. 6.  Generator; returns the event's value.
+    """
+    quantum = quantum or 40 * machine.params.t_poll_period
+    while not event.triggered:
+        machine.papi.add(core, "CPU_BUSY", quantum)
+        yield machine.cores[core].busy(quantum)
+    return event.value

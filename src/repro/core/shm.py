@@ -1,0 +1,140 @@
+"""The default Nemesis LMT: double-buffering through shared memory.
+
+Sec. 2: "This method always results in two copies, one from the source
+buffer into the copy buffer and another out of the copy buffer into the
+destination buffer. [...] if two processors are participating in the
+transfer, the copies might overlap to some degree, one thereby
+partially hiding the cost of the other.  However, this method requires
+both processors to actively take part in the transfer [...] and
+pollutes the cache."
+
+The copy buffer is a small persistent ring of shared-memory cells per
+(sender, receiver) ordered pair.  Sender and receiver pipeline: while
+the receiver drains cell *k*, the sender fills cell *k+1*.  Because the
+ring's physical lines are reused for every message, they stay hot in
+the participating caches — which is exactly why double buffering wins
+when (and only when) the two cores share an L2.
+"""
+
+from __future__ import annotations
+
+from repro.core.lmt import LmtBackend, TransferSide
+from repro.kernel.address_space import Buffer, BufferView, alloc_shared
+from repro.kernel.copy import cpu_copy
+from repro.sim.resources import Channel, FifoLock
+
+__all__ = ["ShmLmt", "CopyRing", "iovec_chunks"]
+
+
+def iovec_chunks(views: list[BufferView], chunk: int):
+    """Yield sub-views of at most ``chunk`` bytes walking an iovec."""
+    for view in views:
+        offset = 0
+        while offset < view.nbytes:
+            n = min(chunk, view.nbytes - offset)
+            yield view.sub(offset, n)
+            offset += n
+
+
+class _IovecWriter:
+    """Incremental writer across an iovec (destination side of the ring)."""
+
+    def __init__(self, views: list[BufferView]) -> None:
+        self._views = views
+        self._vi = 0
+        self._off = 0
+
+    def take(self, nbytes: int) -> list[BufferView]:
+        """Next destination pieces covering ``nbytes``."""
+        out: list[BufferView] = []
+        while nbytes > 0 and self._vi < len(self._views):
+            view = self._views[self._vi]
+            n = min(nbytes, view.nbytes - self._off)
+            out.append(view.sub(self._off, n))
+            self._off += n
+            nbytes -= n
+            if self._off >= view.nbytes:
+                self._vi += 1
+                self._off = 0
+        return out
+
+
+class CopyRing:
+    """A persistent shared-memory copy ring for one ordered rank pair."""
+
+    def __init__(self, world, src_rank: int, dst_rank: int) -> None:
+        machine = world.machine
+        params = machine.params
+        self.cell_bytes = params.shm_chunk
+        self.ncells = params.shm_cells
+        self.cells: list[Buffer] = [
+            alloc_shared(
+                machine,
+                self.cell_bytes,
+                name=f"ring{src_rank}->{dst_rank}.cell{i}",
+            )
+            for i in range(self.ncells)
+        ]
+        self.free = Channel(world.engine, name="ring.free")
+        self.full = Channel(world.engine, name="ring.full")
+        for cell in self.cells:
+            self.free.put(cell)
+        #: One *sending* transfer at a time per ordered pair...
+        self.lock = FifoLock(world.engine, name="ring.lock")
+        #: ...and one *draining* transfer: without this, a second
+        #: receiver could steal the tail cells of the first (their FIFO
+        #: gets interleave on the shared full-cell channel).  Receivers
+        #: acquire it when they start draining — which happens before
+        #: the next sender can even send its RTS — so the drain order
+        #: always matches the fill order.
+        self.recv_lock = FifoLock(world.engine, name="ring.recv_lock")
+
+
+class ShmLmt(LmtBackend):
+    """Two pipelined CPU copies through the shared ring."""
+
+    name = "shm"
+    receiver_sends_done = False  # sender's buffer is safe after its copies
+
+    # ------------------------------------------------------------ sender
+    def sender_on_cts(self, side: TransferSide, cts_info: dict):
+        world = side.world
+        machine = side.machine
+        ring = world.copy_ring(side.rank, side.peer_rank)
+        yield ring.lock.acquire()
+        try:
+            latency = self._sync_latency(side)
+            for piece in iovec_chunks(side.views, ring.cell_bytes):
+                cell = yield ring.free.get()
+                yield from cpu_copy(
+                    machine, side.core, [cell.view(0, piece.nbytes)], [piece]
+                )
+                # The "cell full" flag crosses to the receiver's cache.
+                side.engine.schedule(latency, ring.full.put, (cell, piece.nbytes))
+        finally:
+            ring.lock.release()
+
+    # ---------------------------------------------------------- receiver
+    def receiver_transfer(self, side: TransferSide, rts_info: dict):
+        machine = side.machine
+        ring = side.world.copy_ring(side.peer_rank, side.rank)
+        latency = self._sync_latency(side)
+        writer = _IovecWriter(side.views)
+        yield ring.recv_lock.acquire()
+        try:
+            received = 0
+            while received < side.nbytes:
+                cell, n = yield ring.full.get()
+                yield from cpu_copy(
+                    machine, side.core, writer.take(n), [cell.view(0, n)]
+                )
+                side.engine.schedule(latency, ring.free.put, cell)
+                received += n
+        finally:
+            ring.recv_lock.release()
+        return self.name
+
+    @staticmethod
+    def _sync_latency(side: TransferSide) -> float:
+        p = side.machine.params
+        return p.t_handoff_shared if side.shares_cache else p.t_handoff_remote

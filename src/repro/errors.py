@@ -1,0 +1,96 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the simulator derives from :class:`ReproError`,
+so applications can catch simulation problems separately from ordinary
+Python errors.  The sub-hierarchy mirrors the package layout.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SimulationError",
+    "DeadlockError",
+    "HardwareError",
+    "KernelError",
+    "BadAddressError",
+    "PipeError",
+    "KnemError",
+    "CookieError",
+    "MpiError",
+    "TruncationError",
+    "DatatypeError",
+    "RankError",
+    "LmtError",
+    "BenchmarkError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class SimulationError(ReproError):
+    """Errors from the discrete-event engine (misuse, bad yields...)."""
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while processes were still blocked.
+
+    Raised by :meth:`repro.sim.engine.Engine.run` and carries the names
+    of the blocked processes to make protocol bugs diagnosable.
+    """
+
+    def __init__(self, blocked: list[str]):
+        self.blocked = list(blocked)
+        super().__init__(
+            "simulation deadlocked; blocked processes: " + ", ".join(blocked)
+        )
+
+
+class HardwareError(ReproError):
+    """Errors in the hardware model (bad topology, cache misuse...)."""
+
+
+class KernelError(ReproError):
+    """Errors from the simulated OS kernel."""
+
+
+class BadAddressError(KernelError):
+    """An address range fell outside any mapped segment (simulated EFAULT)."""
+
+
+class PipeError(KernelError):
+    """Misuse of the simulated pipe (simulated EBADF/EPIPE)."""
+
+
+class KnemError(KernelError):
+    """Errors from the simulated KNEM pseudo-device."""
+
+
+class CookieError(KnemError):
+    """Unknown, reused or expired KNEM cookie (simulated EINVAL)."""
+
+
+class MpiError(ReproError):
+    """MPI-level semantic errors."""
+
+
+class TruncationError(MpiError):
+    """Receive buffer smaller than the matched incoming message."""
+
+
+class DatatypeError(MpiError):
+    """Invalid datatype construction or mismatched pack/unpack."""
+
+
+class RankError(MpiError):
+    """Rank out of range for the communicator."""
+
+
+class LmtError(MpiError):
+    """Errors in a Large Message Transfer backend."""
+
+
+class BenchmarkError(ReproError):
+    """Errors in the benchmark harness (bad parameters, empty sweeps)."""

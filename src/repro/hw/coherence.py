@@ -1,0 +1,204 @@
+"""MESI-lite coherence across the per-die caches.
+
+The copy engines ask this domain to perform *streams* — bulk reads and
+writes of physical line ranges on behalf of a core — and get back a
+breakdown of where the lines were served from:
+
+- ``local_hits``   — the core's own L2 (cheap),
+- ``remote_hits``  — another die's L2, transferred over the FSB (snoop),
+- ``dram_lines``   — memory,
+- ``writeback_lines`` — dirty evictions/downgrades this stream caused
+  (bus traffic that the memory model charges in the background).
+
+Protocol simplifications (documented in DESIGN.md): lines may be shared
+by several caches; a write invalidates all remote copies; a remote read
+of a dirty line forces a writeback and leaves the owner with a clean
+(shared) copy; DMA traffic bypasses caches but flushes dirty overlap on
+reads and invalidates on writes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.cache import ExtentLRUCache
+from repro.hw.counters import Papi
+from repro.hw.topology import TopologySpec
+
+__all__ = ["StreamBreakdown", "CoherenceDomain"]
+
+
+@dataclass(frozen=True)
+class StreamBreakdown:
+    """Where the lines of one bulk stream were served from."""
+
+    local_hits: int
+    remote_hits: int
+    dram_lines: int
+    writeback_lines: int
+    #: Lines whose remote (shared) copies a write had to invalidate:
+    #: ownership-upgrade transactions on the FSB.
+    upgrade_lines: int = 0
+
+    @property
+    def lines(self) -> int:
+        return self.local_hits + self.remote_hits + self.dram_lines
+
+    @property
+    def misses(self) -> int:
+        return self.remote_hits + self.dram_lines
+
+    def __add__(self, other: "StreamBreakdown") -> "StreamBreakdown":
+        return StreamBreakdown(
+            self.local_hits + other.local_hits,
+            self.remote_hits + other.remote_hits,
+            self.dram_lines + other.dram_lines,
+            self.writeback_lines + other.writeback_lines,
+            self.upgrade_lines + other.upgrade_lines,
+        )
+
+
+ZERO_BREAKDOWN = StreamBreakdown(0, 0, 0, 0, 0)
+
+
+def _subtract_segments(
+    universe: tuple[int, int], segments: list[tuple[int, int]]
+) -> list[tuple[int, int]]:
+    """Portions of ``universe`` not covered by ``segments`` (sorted,
+    non-overlapping)."""
+    out = []
+    cursor, end = universe
+    for a, b in segments:
+        if a > cursor:
+            out.append((cursor, min(a, end)))
+        cursor = max(cursor, b)
+        if cursor >= end:
+            break
+    if cursor < end:
+        out.append((cursor, end))
+    return [(a, b) for a, b in out if a < b]
+
+
+def _merge_segments(segments: list[tuple[int, int]]) -> list[tuple[int, int]]:
+    if not segments:
+        return []
+    segments = sorted(segments)
+    out = [list(segments[0])]
+    for a, b in segments[1:]:
+        if a <= out[-1][1]:
+            out[-1][1] = max(out[-1][1], b)
+        else:
+            out.append([a, b])
+    return [(a, b) for a, b in out]
+
+
+def _overlap_count(
+    segs_a: list[tuple[int, int]], segs_b: list[tuple[int, int]]
+) -> int:
+    total = 0
+    for a1, b1 in segs_a:
+        for a2, b2 in segs_b:
+            lo, hi = max(a1, a2), min(b1, b2)
+            if lo < hi:
+                total += hi - lo
+    return total
+
+
+class CoherenceDomain:
+    """Coordinates the per-die caches and the PAPI counters."""
+
+    def __init__(
+        self, topo: TopologySpec, caches: list[ExtentLRUCache], papi: Papi
+    ) -> None:
+        if len(caches) != topo.ndies:
+            raise ValueError(f"expected {topo.ndies} caches, got {len(caches)}")
+        self.topo = topo
+        self.caches = caches
+        self.papi = papi
+
+    def cache_of(self, core: int) -> ExtentLRUCache:
+        return self.caches[self.topo.die_of(core)]
+
+    # ------------------------------------------------------------ CPU --
+    def read(self, core: int, start: int, end: int) -> StreamBreakdown:
+        """Core ``core`` streams a read over physical lines [start, end)."""
+        return self._stream(core, start, end, write=False)
+
+    def write(self, core: int, start: int, end: int) -> StreamBreakdown:
+        """Core ``core`` streams a write (write-allocate: misses fetch
+        the line first, remote copies are invalidated)."""
+        return self._stream(core, start, end, write=True)
+
+    def _stream(self, core: int, start: int, end: int, write: bool) -> StreamBreakdown:
+        if start >= end:
+            return ZERO_BREAKDOWN
+        die = self.topo.die_of(core)
+        local = self.caches[die]
+
+        local_segments = [(a, b) for a, b, _ in local.peek(start, end)]
+        gaps = _subtract_segments((start, end), _merge_segments(local_segments))
+
+        # Probe remote caches for the locally-missing portion.
+        remote_segments: list[tuple[int, int]] = []
+        writebacks = 0
+        invalidated = 0
+        for other_die, cache in enumerate(self.caches):
+            if other_die == die:
+                continue
+            found = cache.peek(start, end)
+            if not found:
+                continue
+            for a, b, dirty in found:
+                remote_segments.append((a, b))
+            if write:
+                # RFO: invalidate every remote copy; dirty data is
+                # transferred to the requester, so no memory writeback,
+                # but we still count clean-up of M lines as bus traffic.
+                lines, dirty_lines = cache.invalidate(start, end)
+                writebacks += dirty_lines
+                invalidated += lines
+            else:
+                # Shared read: the owner keeps a clean copy; dirty lines
+                # are written back to memory (M -> S, HITM implicit
+                # writeback on FSB platforms).
+                writebacks += cache.downgrade(start, end)
+        remote_only = _overlap_count(gaps, _merge_segments(remote_segments))
+
+        result = local.access(start, end, write=write)
+        writebacks += result.writebacks
+
+        remote_hits = min(result.misses, remote_only)
+        dram = result.misses - remote_hits
+        # Upgrades: remote copies invalidated for lines we already had
+        # (the write-hit-on-shared case); RFO-fetched lines are already
+        # counted in remote_hits.
+        upgrades = max(0, invalidated - remote_hits) if write else 0
+
+        papi = self.papi[core]
+        papi.add("L2_HITS", result.hits)
+        papi.add("L2_MISSES", result.misses)
+        papi.add("REMOTE_HITS", remote_hits)
+        papi.add("DRAM_LINES", dram)
+        papi.add("WRITEBACKS", writebacks)
+        return StreamBreakdown(result.hits, remote_hits, dram, writebacks, upgrades)
+
+    # ------------------------------------------------------------ DMA --
+    def dma_read(self, start: int, end: int) -> int:
+        """DMA engine reads lines [start, end) from memory.
+
+        Dirty cached copies must reach memory first; returns the number
+        of lines written back (bus traffic).  Clean copies may stay.
+        """
+        flushed = 0
+        for cache in self.caches:
+            flushed += cache.downgrade(start, end)
+        return flushed
+
+    def dma_write(self, start: int, end: int) -> int:
+        """DMA engine writes lines [start, end) to memory; all cached
+        copies become stale and are invalidated.  Returns lines dropped."""
+        dropped = 0
+        for cache in self.caches:
+            resident, _ = cache.invalidate(start, end)
+            dropped += resident
+        return dropped

@@ -1,0 +1,66 @@
+"""The paper's evaluation hosts, as topology presets.
+
+Sec. 4: "Most experiments were run on a dual-socket quad-core Intel
+Xeon E5345 (2.33 GHz).  Each processor has two 4 MiB L2 caches shared
+between a pair of cores.  We also ran experiments on other hosts, such
+as a single-socket quad-core Xeon X5460 (3.16 GHz) with two 6 MiB L2
+caches, and observed similar behavior."
+
+``nehalem8`` models the paper's forward-looking discussion (Sec. 6):
+an 8-core part with one large cache shared by all cores, used by the
+NUMA/affinity extension experiments.
+"""
+
+from __future__ import annotations
+
+from repro.hw.params import HwParams
+from repro.hw.topology import TopologySpec
+from repro.units import MiB
+
+__all__ = ["xeon_e5345", "xeon_x5460", "nehalem8"]
+
+
+def xeon_e5345(params: HwParams | None = None) -> TopologySpec:
+    """Dual-socket quad-core 2.33 GHz; 4 MiB L2 per core pair (8 cores)."""
+    return TopologySpec(
+        name="xeon-e5345",
+        sockets=2,
+        dies_per_socket=2,
+        cores_per_die=2,
+        params=params or HwParams(l2_bytes=4 * MiB),
+    )
+
+
+def xeon_x5460(params: HwParams | None = None) -> TopologySpec:
+    """Single-socket quad-core 3.16 GHz; 6 MiB L2 per core pair.
+
+    The higher clock scales the cache-hit and instruction tiers by the
+    frequency ratio; DRAM and DMA rates are board-level and unchanged.
+    """
+    if params is None:
+        base = HwParams()
+        ratio = 3.16 / 2.33
+        params = base.scaled(
+            l2_bytes=6 * MiB,
+            t_instr=base.t_instr / ratio,
+            t_l2_hit=base.t_l2_hit / ratio,
+        )
+    return TopologySpec(
+        name="xeon-x5460",
+        sockets=1,
+        dies_per_socket=2,
+        cores_per_die=2,
+        params=params,
+    )
+
+
+def nehalem8(params: HwParams | None = None) -> TopologySpec:
+    """A Nehalem-style 8-core host with one 8 MiB cache shared by all
+    cores of a socket (the Sec. 6 'upcoming processors' scenario)."""
+    return TopologySpec(
+        name="nehalem-8c",
+        sockets=1,
+        dies_per_socket=1,
+        cores_per_die=8,
+        params=params or HwParams(l2_bytes=8 * MiB),
+    )

@@ -1,0 +1,35 @@
+"""Simulated Linux kernel services.
+
+Python cannot splice pages between real processes, so this subpackage
+models the kernel mechanisms the paper relies on:
+
+- :mod:`~repro.kernel.address_space` — per-process virtual buffers
+  backed by distinct physical ranges (and shared mappings);
+- :mod:`~repro.kernel.syscall` — syscall entry/exit cost;
+- :mod:`~repro.kernel.copy` — the timed, cache-accurate CPU copy
+  primitive every transfer strategy is built from;
+- :mod:`~repro.kernel.pipes` — UNIX pipes with the 16-page buffer limit,
+  ``writev``, ``vmsplice`` (page attach, no copy) and ``readv``;
+- :mod:`~repro.kernel.knem` — the KNEM pseudo-character device: declare
+  / cookie / copy commands, synchronous and asynchronous kernel copies,
+  kernel-thread offload and the I/OAT backend.
+"""
+
+from repro.kernel.address_space import AddressSpace, Buffer, BufferView
+from repro.kernel.copy import cpu_copy, stream_access
+from repro.kernel.knem import KnemDevice, KnemFlags, KnemStatus
+from repro.kernel.pipes import Pipe
+from repro.kernel.syscall import syscall
+
+__all__ = [
+    "AddressSpace",
+    "Buffer",
+    "BufferView",
+    "cpu_copy",
+    "stream_access",
+    "KnemDevice",
+    "KnemFlags",
+    "KnemStatus",
+    "Pipe",
+    "syscall",
+]

@@ -1,0 +1,186 @@
+"""The timed, cache-accurate CPU copy primitive.
+
+Every CPU-driven transfer in the reproduction — the double-buffering
+LMT, pipe ``writev``/``readv``, KNEM's synchronous and kernel-thread
+copies, eager cells — funnels through :func:`cpu_copy`.  For each chunk
+it:
+
+1. streams the **source** through the coherence domain (read),
+2. streams the **destination** (write-allocate),
+3. converts the hit/miss breakdowns into CPU time, DRAM-bus bytes and
+   FSB bytes, waits for all three resources concurrently (memory-level
+   parallelism: the copy loop overlaps outstanding misses),
+4. moves the real payload bytes.
+
+:func:`stream_access` is the computation-side sibling: it models an
+application phase scanning a working set (no data copied, optional
+extra arithmetic per byte).  NAS compute phases use it, which is how
+communication-induced cache pollution slows application code — the
+paper's IS mechanism.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.hw.coherence import StreamBreakdown
+from repro.kernel.address_space import BufferView
+from repro.sim.events import AllOf
+from repro.units import CACHE_LINE, KiB
+
+__all__ = ["cpu_copy", "stream_access", "iter_lockstep"]
+
+#: Default interleaving granularity: cache state and resource usage are
+#: updated at this grain so concurrent activities contend realistically.
+DEFAULT_CHUNK = 64 * KiB
+
+
+def iter_lockstep(
+    dst_views: Sequence[BufferView],
+    src_views: Sequence[BufferView],
+    chunk: int,
+) -> Iterator[tuple[BufferView, BufferView]]:
+    """Walk two iovec lists in lockstep, yielding equal-length pieces of
+    at most ``chunk`` bytes."""
+    di = si = 0
+    doff = soff = 0
+    while di < len(dst_views) and si < len(src_views):
+        dv, sv = dst_views[di], src_views[si]
+        n = min(dv.nbytes - doff, sv.nbytes - soff, chunk)
+        if n > 0:
+            yield dv.sub(doff, n), sv.sub(soff, n)
+            doff += n
+            soff += n
+        if doff >= dv.nbytes:
+            di += 1
+            doff = 0
+        if soff >= sv.nbytes:
+            si += 1
+            soff = 0
+
+
+def _stream_cost(machine, breakdown: StreamBreakdown) -> tuple[float, int, int]:
+    """(cpu_seconds, dram_bytes, fsb_bytes) for one stream breakdown."""
+    p = machine.params
+    line = CACHE_LINE
+    cpu = (
+        breakdown.local_hits * line * p.t_l2_hit
+        + breakdown.remote_hits * line * p.t_fsb
+        + breakdown.dram_lines * line * p.t_dram
+    )
+    dram_bytes = breakdown.dram_lines * line
+    # FSB transactions: cache-to-cache transfers and DRAM fills carry a
+    # data phase; ownership upgrades are address-only and cost only a
+    # fraction of a slot.
+    fsb_bytes = (
+        breakdown.remote_hits
+        + breakdown.dram_lines
+        + breakdown.upgrade_lines * p.fsb_upgrade_weight
+    ) * line
+    return cpu, dram_bytes, fsb_bytes
+
+
+def _charge_chunk(machine, core: int, nbytes: int, breakdowns, move=None):
+    """Wait for the CPU / DRAM / FSB work of one chunk, then move data."""
+    p = machine.params
+    access_cpu = 0.0
+    dram_bytes = 0
+    fsb_bytes = 0
+    writeback_lines = 0
+    for b in breakdowns:
+        c, d, f = _stream_cost(machine, b)
+        access_cpu += c
+        dram_bytes += d
+        fsb_bytes += f
+        writeback_lines += b.writeback_lines
+    # A streaming copy loop overlaps its instruction stream with its
+    # outstanding memory accesses (prefetch + OoO): the core is busy for
+    # whichever is longer, not their sum.
+    cpu = max(nbytes * p.t_instr, access_cpu)
+    machine.memory.charge_writebacks(writeback_lines * CACHE_LINE)
+    machine.papi.add(core, "CPU_BUSY", cpu)
+
+    t0 = machine.engine.now
+    waits = [machine.cores[core].busy(cpu)]
+    if dram_bytes:
+        waits.append(machine.memory.dram_transfer(dram_bytes))
+    if fsb_bytes:
+        waits.append(machine.memory.fsb_transfer(fsb_bytes))
+    if len(waits) == 1:
+        yield waits[0]
+    else:
+        yield AllOf(machine.engine, waits)
+    if move is not None:
+        move()
+    tracer = machine.engine.tracer
+    if tracer.enabled:
+        tracer.emit(
+            t0,
+            "copy",
+            core=core,
+            nbytes=nbytes,
+            end=machine.engine.now,
+            dram=dram_bytes,
+            fsb=fsb_bytes,
+        )
+
+
+def cpu_copy(
+    machine,
+    core: int,
+    dst_views: Sequence[BufferView],
+    src_views: Sequence[BufferView],
+    chunk: int = DEFAULT_CHUNK,
+):
+    """Copy ``src_views`` into ``dst_views`` on ``core``.
+
+    Generator; returns the number of bytes copied.  The views' total
+    sizes need not match — the copy stops at the shorter of the two.
+    """
+    copied = 0
+    for dv, sv in iter_lockstep(dst_views, src_views, chunk):
+        s0, s1 = machine.line_span(sv.phys, sv.nbytes)
+        d0, d1 = machine.line_span(dv.phys, dv.nbytes)
+        src_bd = machine.coherence.read(core, s0, s1)
+        dst_bd = machine.coherence.write(core, d0, d1)
+
+        def move(dv=dv, sv=sv):
+            dv.array[:] = sv.array
+
+        yield from _charge_chunk(machine, core, dv.nbytes, (src_bd, dst_bd), move)
+        machine.papi.add(core, "BYTES_COPIED", dv.nbytes)
+        copied += dv.nbytes
+    return copied
+
+
+def stream_access(
+    machine,
+    core: int,
+    views: Sequence[BufferView],
+    write: bool = False,
+    intensity: float = 1.0,
+    chunk: int = DEFAULT_CHUNK,
+):
+    """Model a compute phase scanning ``views`` on ``core``.
+
+    ``intensity`` multiplies the per-byte instruction cost (1.0 is a
+    pure streaming scan; higher values model arithmetic per element).
+    Generator; returns the number of bytes touched.
+    """
+    touched = 0
+    for view in views:
+        offset = 0
+        while offset < view.nbytes:
+            n = min(chunk, view.nbytes - offset)
+            piece = view.sub(offset, n)
+            l0, l1 = machine.line_span(piece.phys, piece.nbytes)
+            if write:
+                bd = machine.coherence.write(core, l0, l1)
+            else:
+                bd = machine.coherence.read(core, l0, l1)
+            # Intensity scales the instruction-stream component only;
+            # the memory-side costs come from the breakdown as usual.
+            yield from _charge_chunk(machine, core, int(n * intensity), (bd,))
+            offset += n
+            touched += n
+    return touched

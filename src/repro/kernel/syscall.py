@@ -1,0 +1,20 @@
+"""System call cost accounting.
+
+Sec. 3.1: "the cost of the system call on a modern processor (about
+100 ns on an Intel Xeon) is much lower than copying a single 64 KiB
+chunk (approximately 8 us)" — the justification for vmsplice's
+per-chunk syscalls being an acceptable trade-off.
+"""
+
+from __future__ import annotations
+
+__all__ = ["syscall"]
+
+
+def syscall(machine, core: int, extra: float = 0.0):
+    """Charge one syscall (entry/exit plus ``extra`` in-kernel time) to
+    ``core``.  Generator; yield it from a simulated process."""
+    machine.papi.add(core, "SYSCALLS", 1)
+    cost = machine.params.t_syscall + extra
+    machine.papi.add(core, "CPU_BUSY", cost)
+    yield machine.cores[core].busy(cost)

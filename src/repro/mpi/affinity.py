@@ -1,0 +1,67 @@
+"""Process-placement helpers (the paper's affinity discussion).
+
+Sec. 6: "the increasing number of cores and large, shared caches [...]
+will keep raising the need to carefully tune intranode communication
+according to process affinities."  These helpers compute the classic
+binding policies and locality summaries the benchmarks use.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MpiError
+from repro.hw.topology import TopologySpec
+
+__all__ = ["bindings_for", "placement_summary"]
+
+
+def bindings_for(topo: TopologySpec, nprocs: int, policy: str = "compact") -> list[int]:
+    """Core bindings for ``nprocs`` ranks under a placement policy.
+
+    - ``compact``: fill cores in order (pairs share caches first) —
+      maximizes cache sharing between neighbouring ranks;
+    - ``spread``: round-robin across dies — consecutive ranks never
+      share a cache until every die holds one rank;
+    - ``pair-split``: rank 2k and 2k+1 land on *different* dies
+      (the worst case for neighbour-heavy communication patterns).
+    """
+    if not 1 <= nprocs <= topo.ncores:
+        raise MpiError(f"nprocs {nprocs} outside 1..{topo.ncores}")
+    cores = list(range(topo.ncores))
+    if policy == "compact":
+        return cores[:nprocs]
+    if policy == "spread":
+        by_die: list[list[int]] = [topo.cores_of_die(d) for d in range(topo.ndies)]
+        order = []
+        for level in range(topo.cores_per_die):
+            for die_cores in by_die:
+                order.append(die_cores[level])
+        return order[:nprocs]
+    if policy == "pair-split":
+        spread = bindings_for(topo, topo.ncores, "spread")
+        return spread[:nprocs]
+    raise MpiError(f"unknown placement policy {policy!r}")
+
+
+def placement_summary(topo: TopologySpec, bindings: list[int]) -> dict:
+    """Locality statistics of a binding: how many rank pairs share a
+    cache / a socket, and the per-cache process counts that feed the
+    DMAmin formula."""
+    pairs_sharing_cache = 0
+    pairs_same_socket = 0
+    n = len(bindings)
+    for i in range(n):
+        for j in range(i + 1, n):
+            if topo.shares_cache(bindings[i], bindings[j]):
+                pairs_sharing_cache += 1
+            if topo.same_socket(bindings[i], bindings[j]):
+                pairs_same_socket += 1
+    per_cache: dict[int, int] = {}
+    for core in bindings:
+        die = topo.die_of(core)
+        per_cache[die] = per_cache.get(die, 0) + 1
+    return {
+        "pairs_sharing_cache": pairs_sharing_cache,
+        "pairs_same_socket": pairs_same_socket,
+        "processes_per_cache": per_cache,
+        "max_sharers": max(per_cache.values()) if per_cache else 0,
+    }

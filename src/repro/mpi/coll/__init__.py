@@ -1,0 +1,59 @@
+"""Collective operations over the point-to-point layer.
+
+Algorithm choices follow MPICH2's conventions for intranode runs:
+
+- Barrier: dissemination (log2 p rounds of zero-byte messages);
+- Bcast / Reduce: binomial trees;
+- Allreduce: reduce + bcast;
+- Gather / Scatter: linear to/from root (messages are large here);
+- Allgather: ring (p-1 neighbor exchanges);
+- Alltoall(v): pairwise exchange (XOR schedule on power-of-two sizes) —
+  the algorithm active in the paper's Fig. 7 measurements.
+
+Each collective wraps its large-message phase in the world's
+*collective hint* so the adaptive LMT policy can lower its I/OAT
+threshold (Secs. 4.4 and 6 of the paper).
+"""
+
+from repro.mpi.coll.allgather import (
+    allgather,
+    allgather_recursive_doubling,
+    allgather_ring,
+)
+from repro.mpi.coll.alltoall import alltoall, alltoall_bruck, alltoallv
+from repro.mpi.coll.barrier import barrier
+from repro.mpi.coll.bcast import bcast, bcast_binomial, bcast_scatter_allgather
+from repro.mpi.coll.gather import gather, scatter
+from repro.mpi.coll.reduce import (
+    allreduce,
+    allreduce_rabenseifner,
+    allreduce_recursive_doubling,
+    reduce,
+)
+from repro.mpi.coll.reduce import reduce_scatter_block
+from repro.mpi.coll.tuning import CollTuning
+from repro.mpi.coll.vector import allgatherv, gatherv, scatterv
+
+__all__ = [
+    "allgather",
+    "allgather_ring",
+    "allgather_recursive_doubling",
+    "alltoall",
+    "alltoall_bruck",
+    "alltoallv",
+    "barrier",
+    "bcast",
+    "bcast_binomial",
+    "bcast_scatter_allgather",
+    "gather",
+    "scatter",
+    "reduce",
+    "allreduce",
+    "allreduce_recursive_doubling",
+    "allreduce_rabenseifner",
+    "reduce_scatter_block",
+    "gatherv",
+    "scatterv",
+    "allgatherv",
+    "CollTuning",
+]

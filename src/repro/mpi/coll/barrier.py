@@ -1,0 +1,37 @@
+"""Dissemination barrier."""
+
+from __future__ import annotations
+
+from repro.mpi.request import Request
+
+__all__ = ["barrier"]
+
+_BARRIER_TAG = -1000
+
+
+def barrier(comm):
+    """Dissemination barrier: ceil(log2 p) rounds of zero-byte
+    exchanges.  Generator."""
+    p = comm.size
+    if p == 1:
+        return
+        yield  # pragma: no cover - keeps this a generator
+
+    rank = comm.rank
+    # Zero-byte messages still carry a view for the API; one cached
+    # scratch byte per communicator avoids per-call allocations.
+    scratch = getattr(comm, "_barrier_scratch", None)
+    if scratch is None:
+        scratch = comm.world.spaces[rank].alloc(1, name=f"barrier.r{rank}")
+        comm._barrier_scratch = scratch
+    k = 0
+    step = 1
+    while step < p:
+        dest = (rank + step) % p
+        source = (rank - step) % p
+        tag = _BARRIER_TAG - k
+        rreq = comm.Irecv(scratch.view(0, 0), source, tag)
+        sreq = comm.Isend(scratch.view(0, 0), dest, tag)
+        yield from Request.waitall([sreq, rreq])
+        step <<= 1
+        k += 1

@@ -1,0 +1,144 @@
+"""Vector (variable-count) collectives: gatherv / scatterv / allgatherv.
+
+Counts are in bytes; ``counts[j]`` is rank j's contribution, packed
+consecutively in the root/result buffer.  Linear algorithms — the
+message sizes are arbitrary, so tree schedules buy little intranode,
+and this matches MPICH2's behaviour for large payloads.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import MpiError
+from repro.kernel.copy import cpu_copy
+from repro.mpi.datatypes import as_views
+from repro.mpi.request import Request
+
+__all__ = ["gatherv", "scatterv", "allgatherv"]
+
+_GATHERV_TAG = -4500
+_SCATTERV_TAG = -5500
+_ALLGATHERV_TAG = -6500
+
+
+def _offsets(counts: Sequence[int]) -> list[int]:
+    out = [0]
+    for c in counts:
+        if c < 0:
+            raise MpiError(f"negative count {c}")
+        out.append(out[-1] + c)
+    return out
+
+
+def _contiguous(buf, total: int, what: str):
+    views = as_views(buf)
+    if len(views) != 1:
+        raise MpiError(f"{what} requires a contiguous buffer")
+    if views[0].nbytes < total:
+        raise MpiError(f"{what} buffer smaller than the summed counts")
+    return views[0]
+
+
+def gatherv(comm, sendbuf, recvbuf, counts: Sequence[int], root: int = 0):
+    """Every rank sends ``counts[rank]`` bytes to root.  Generator."""
+    p = comm.size
+    rank = comm.rank
+    if len(counts) != p:
+        raise MpiError("gatherv needs one count per rank")
+    send_views = as_views(sendbuf) if counts[rank] else []
+    if rank == root:
+        offs = _offsets(counts)
+        rv = _contiguous(recvbuf, offs[-1], "gatherv")
+        requests = []
+        for src in range(p):
+            if src == root or counts[src] == 0:
+                continue
+            requests.append(
+                comm.Irecv(
+                    rv.sub(offs[src], counts[src]), source=src, tag=_GATHERV_TAG
+                )
+            )
+        if counts[root]:
+            yield from cpu_copy(
+                comm.world.machine,
+                comm.core,
+                [rv.sub(offs[root], counts[root])],
+                send_views,
+            )
+        yield from Request.waitall(requests)
+    elif counts[rank]:
+        yield comm.Send(send_views, dest=root, tag=_GATHERV_TAG)
+
+
+def scatterv(comm, sendbuf, recvbuf, counts: Sequence[int], root: int = 0):
+    """Root sends ``counts[j]`` bytes to each rank j.  Generator."""
+    p = comm.size
+    rank = comm.rank
+    if len(counts) != p:
+        raise MpiError("scatterv needs one count per rank")
+    recv_views = as_views(recvbuf) if counts[rank] else []
+    if rank == root:
+        offs = _offsets(counts)
+        sv = _contiguous(sendbuf, offs[-1], "scatterv")
+        requests = []
+        for dst in range(p):
+            if dst == root or counts[dst] == 0:
+                continue
+            requests.append(
+                comm.Isend(sv.sub(offs[dst], counts[dst]), dest=dst, tag=_SCATTERV_TAG)
+            )
+        if counts[root]:
+            yield from cpu_copy(
+                comm.world.machine,
+                comm.core,
+                recv_views,
+                [sv.sub(offs[root], counts[root])],
+            )
+        yield from Request.waitall(requests)
+    elif counts[rank]:
+        yield comm.Recv(recv_views, source=root, tag=_SCATTERV_TAG)
+
+
+def allgatherv(comm, sendbuf, recvbuf, counts: Sequence[int]):
+    """Ring allgather with per-rank counts.  Generator."""
+    p = comm.size
+    rank = comm.rank
+    if len(counts) != p:
+        raise MpiError("allgatherv needs one count per rank")
+    offs = _offsets(counts)
+    rv = _contiguous(recvbuf, offs[-1], "allgatherv")
+
+    if counts[rank]:
+        yield from cpu_copy(
+            comm.world.machine,
+            comm.core,
+            [rv.sub(offs[rank], counts[rank])],
+            as_views(sendbuf),
+        )
+    if p == 1:
+        return
+
+    right = (rank + 1) % p
+    left = (rank - 1) % p
+    for step in range(p - 1):
+        send_block = (rank - step) % p
+        recv_block = (rank - step - 1) % p
+        requests = []
+        if counts[send_block]:
+            requests.append(
+                comm.Isend(
+                    rv.sub(offs[send_block], counts[send_block]),
+                    dest=right,
+                    tag=_ALLGATHERV_TAG + step,
+                )
+            )
+        if counts[recv_block]:
+            requests.append(
+                comm.Irecv(
+                    rv.sub(offs[recv_block], counts[recv_block]),
+                    source=left,
+                    tag=_ALLGATHERV_TAG + step,
+                )
+            )
+        yield from Request.waitall(requests)

@@ -1,0 +1,170 @@
+"""MPI datatypes as iovec generators.
+
+A datatype describes a memory layout; applied to a buffer it yields the
+iovec (list of :class:`~repro.kernel.address_space.BufferView`) that the
+transfer engines consume directly.  This is how the reproduction models
+KNEM's "vectorial buffers" advantage over LIMIC2 (Sec. 5): noncontiguous
+sends need no intermediate pack, the kernel walks the segment list.
+
+All quantities are in bytes (the simulation has no element types; MPI
+element counts translate to byte lengths at the benchmark layer).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+from repro.errors import DatatypeError
+from repro.kernel.address_space import Buffer, BufferView
+
+__all__ = [
+    "Datatype",
+    "Contiguous",
+    "Vector",
+    "Indexed",
+    "BYTE",
+    "as_views",
+    "pack",
+    "unpack",
+]
+
+
+class Datatype:
+    """Abstract layout: ``size`` payload bytes spread over ``extent``."""
+
+    size: int
+    extent: int
+
+    def iovec(self, buf: Buffer, offset: int = 0, count: int = 1) -> list[BufferView]:
+        """Expand ``count`` elements of this type at ``buf+offset``."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} size={self.size} extent={self.extent}>"
+
+
+class Contiguous(Datatype):
+    """``nbytes`` consecutive bytes."""
+
+    def __init__(self, nbytes: int) -> None:
+        if nbytes <= 0:
+            raise DatatypeError(f"contiguous size must be positive: {nbytes}")
+        self.size = nbytes
+        self.extent = nbytes
+
+    def iovec(self, buf: Buffer, offset: int = 0, count: int = 1) -> list[BufferView]:
+        if count <= 0:
+            raise DatatypeError(f"count must be positive: {count}")
+        return [buf.view(offset, self.size * count)]
+
+
+BYTE = Contiguous(1)
+
+
+class Vector(Datatype):
+    """``count`` blocks of ``blocklen`` bytes, ``stride`` bytes apart.
+
+    The classic strided layout (matrix columns, face exchanges).
+    """
+
+    def __init__(self, count: int, blocklen: int, stride: int) -> None:
+        if count <= 0 or blocklen <= 0:
+            raise DatatypeError(f"bad vector: count={count} blocklen={blocklen}")
+        if stride < blocklen:
+            raise DatatypeError(f"stride {stride} < blocklen {blocklen}")
+        self.count = count
+        self.blocklen = blocklen
+        self.stride = stride
+        self.size = count * blocklen
+        self.extent = (count - 1) * stride + blocklen
+
+    def iovec(self, buf: Buffer, offset: int = 0, count: int = 1) -> list[BufferView]:
+        views = []
+        for rep in range(count):
+            base = offset + rep * self.extent
+            for i in range(self.count):
+                views.append(buf.view(base + i * self.stride, self.blocklen))
+        return _coalesce(views)
+
+
+class Indexed(Datatype):
+    """Explicit (displacement, length) pairs, in bytes."""
+
+    def __init__(self, blocks: Sequence[tuple[int, int]]) -> None:
+        if not blocks:
+            raise DatatypeError("indexed type needs at least one block")
+        for disp, length in blocks:
+            if disp < 0 or length <= 0:
+                raise DatatypeError(f"bad indexed block ({disp}, {length})")
+        self.blocks = [(int(d), int(n)) for d, n in blocks]
+        self.size = sum(n for _, n in self.blocks)
+        self.extent = max(d + n for d, n in self.blocks)
+
+    def iovec(self, buf: Buffer, offset: int = 0, count: int = 1) -> list[BufferView]:
+        views = []
+        for rep in range(count):
+            base = offset + rep * self.extent
+            for disp, length in self.blocks:
+                views.append(buf.view(base + disp, length))
+        return _coalesce(views)
+
+
+def _coalesce(views: list[BufferView]) -> list[BufferView]:
+    """Merge address-adjacent views from the same buffer."""
+    out: list[BufferView] = []
+    for v in views:
+        if (
+            out
+            and out[-1].buffer is v.buffer
+            and out[-1].offset + out[-1].nbytes == v.offset
+        ):
+            out[-1] = BufferView(v.buffer, out[-1].offset, out[-1].nbytes + v.nbytes)
+        else:
+            out.append(v)
+    return out
+
+
+def pack(views: Sequence[BufferView]):
+    """Gather an iovec into one contiguous byte array (MPI_Pack).
+
+    Pure data operation — no simulated time; the transfer engines work
+    on iovecs directly (KNEM's vectorial buffers), so packing is only
+    needed at API boundaries and in tests.
+    """
+    import numpy as np
+
+    if not views:
+        return np.empty(0, dtype=np.uint8)
+    return np.concatenate([v.array for v in views])
+
+
+def unpack(data, views: Sequence[BufferView]) -> int:
+    """Scatter contiguous bytes back into an iovec (MPI_Unpack).
+    Returns the number of bytes consumed."""
+    import numpy as np
+
+    data = np.asarray(data, dtype=np.uint8)
+    offset = 0
+    for v in views:
+        n = min(v.nbytes, len(data) - offset)
+        if n <= 0:
+            break
+        v.array[:n] = data[offset : offset + n]
+        offset += n
+    return offset
+
+
+BufLike = Union[Buffer, BufferView, Sequence[BufferView]]
+
+
+def as_views(buf: BufLike) -> list[BufferView]:
+    """Normalize any accepted buffer argument to an iovec list."""
+    if isinstance(buf, Buffer):
+        return [buf.view()]
+    if isinstance(buf, BufferView):
+        return [buf]
+    if isinstance(buf, (list, tuple)):
+        if not buf or not all(isinstance(v, BufferView) for v in buf):
+            raise DatatypeError(f"expected a non-empty list of views, got {buf!r}")
+        return list(buf)
+    raise DatatypeError(f"cannot interpret {type(buf).__name__} as a message buffer")

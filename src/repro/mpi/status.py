@@ -1,0 +1,29 @@
+"""MPI status objects."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Status"]
+
+
+@dataclass(frozen=True)
+class Status:
+    """Completion information of one receive (or send)."""
+
+    source: int
+    tag: int
+    nbytes: int
+    #: Which transfer path carried the message ("eager", "shm",
+    #: "vmsplice", "knem", "knem+ioat", ...) — handy for tests and the
+    #: benchmark tables.
+    path: str = ""
+
+    def Get_source(self) -> int:  # mpi4py-flavoured accessors
+        return self.source
+
+    def Get_tag(self) -> int:
+        return self.tag
+
+    def Get_count(self) -> int:
+        return self.nbytes

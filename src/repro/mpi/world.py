@@ -1,0 +1,310 @@
+"""The launcher: bind ranks to cores, run the simulated MPI job.
+
+:func:`run_mpi` is the top-level entry point of the whole library::
+
+    from repro.hw import xeon_e5345
+    from repro.mpi import run_mpi
+
+    def main(ctx):
+        comm = ctx.comm
+        buf = ctx.alloc(1 << 20)
+        if ctx.rank == 0:
+            yield comm.Send(buf, dest=1)
+        else:
+            yield comm.Recv(buf, source=0)
+
+    result = run_mpi(xeon_e5345(), nprocs=2, main=main,
+                     bindings=[0, 1], mode="knem")
+"""
+
+from __future__ import annotations
+
+import itertools
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from repro.core.policy import LmtConfig, LmtPolicy
+from repro.errors import MpiError
+from repro.hw.machine import Machine
+from repro.hw.topology import TopologySpec
+from repro.kernel.address_space import AddressSpace, Buffer
+from repro.kernel.knem import KnemDevice
+from repro.kernel.pipes import Pipe
+from repro.mpi.coll.tuning import CollTuning
+from repro.mpi.communicator import Communicator
+from repro.mpi.nemesis import Endpoint
+from repro.sim.engine import Engine
+
+__all__ = ["MpiWorld", "RankContext", "MpiRunResult", "run_mpi"]
+
+
+class MpiWorld:
+    """Shared state of one simulated MPI job."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        machine: Machine,
+        nprocs: int,
+        bindings: Sequence[int],
+        policy: LmtPolicy,
+        eager_cells: int = 8,
+        coll_tuning: Optional[CollTuning] = None,
+        noise=None,
+    ) -> None:
+        if nprocs < 1:
+            raise MpiError(f"nprocs must be >= 1, got {nprocs}")
+        if len(bindings) != nprocs:
+            raise MpiError(f"{nprocs} ranks but {len(bindings)} bindings")
+        ncores = machine.topo.ncores
+        for core in bindings:
+            if not 0 <= core < ncores:
+                raise MpiError(f"binding to core {core} outside 0..{ncores - 1}")
+        self.engine = engine
+        self.machine = machine
+        self.nprocs = nprocs
+        self.bindings = list(bindings)
+        self.policy = policy
+        self.coll_tuning = coll_tuning or CollTuning()
+        #: Optional seeded run-to-run jitter (see repro.sim.noise).
+        self.noise = noise
+        reg_cache = None
+        if policy.config.knem_reg_cache:
+            from repro.kernel.regcache import RegistrationCache
+
+            reg_cache = RegistrationCache()
+        self.knem = KnemDevice(machine, reg_cache=reg_cache)
+        self.spaces = [
+            AddressSpace(machine, pid=r, name=f"rank{r}") for r in range(nprocs)
+        ]
+        self.endpoints = [Endpoint(self, r, ncells=eager_cells) for r in range(nprocs)]
+        self._pipes: dict[tuple[int, int], Pipe] = {}
+        self._rings: dict[tuple[int, int], Any] = {}
+        self._txn_counter = itertools.count(1)
+        self._cid_counter = itertools.count(1)
+        self._cid_registry: dict = {}
+        #: Collective concurrency hint (Secs. 4.4/6): how many large
+        #: transfers the upper layer expects in flight simultaneously.
+        self.lmt_hint = 1
+        self._hint_depth = 0
+        self._active_lmts = 0
+        self.max_concurrent_lmts = 0
+
+    # ----------------------------------------------------------- lookup
+    def core_of(self, rank: int) -> int:
+        return self.bindings[rank]
+
+    def cache_sharers(self, rank: int) -> int:
+        """How many ranks run on cores sharing ``rank``'s L2 (itself
+        included) — the denominator of the DMAmin formula."""
+        topo = self.machine.topo
+        mine = self.core_of(rank)
+        return sum(1 for c in self.bindings if topo.shares_cache(mine, c))
+
+    def new_txn(self) -> int:
+        return next(self._txn_counter)
+
+    def context_id(self, key) -> int:
+        """Agreed context id for a derived communicator.
+
+        All members call with the same deterministic key (parent cid,
+        split sequence number, color), so they all receive the same id —
+        the simulation's stand-in for MPICH's context-id agreement
+        protocol (the communication cost is paid by the allgather the
+        caller already performed).
+        """
+        if key not in self._cid_registry:
+            self._cid_registry[key] = next(self._cid_counter)
+        return self._cid_registry[key]
+
+    # --------------------------------------------------------- transports
+    def pipe(self, src_rank: int, dst_rank: int) -> Pipe:
+        """The persistent per-ordered-pair pipe of the vmsplice LMT."""
+        key = (src_rank, dst_rank)
+        if key not in self._pipes:
+            pipe = Pipe(self.machine, name=f"pipe{src_rank}->{dst_rank}")
+            params = self.machine.params
+            shared = self.machine.topo.shares_cache(
+                self.core_of(src_rank), self.core_of(dst_rank)
+            )
+            pipe.sync_cost = (
+                params.t_pipe_sync_shared if shared else params.t_pipe_sync_remote
+            )
+            self._pipes[key] = pipe
+        return self._pipes[key]
+
+    def copy_ring(self, src_rank: int, dst_rank: int):
+        """The persistent per-ordered-pair copy ring of the default LMT."""
+        from repro.core.shm import CopyRing
+
+        key = (src_rank, dst_rank)
+        if key not in self._rings:
+            self._rings[key] = CopyRing(self, src_rank, dst_rank)
+        return self._rings[key]
+
+    # ----------------------------------------------------------- traffic
+    def deliver(self, src_rank: int, dst_rank: int, pkt) -> None:
+        """Queue a control packet; the receiver notices it after the
+        locality-dependent flag latency."""
+        params = self.machine.params
+        src_core = self.core_of(src_rank)
+        dst_core = self.core_of(dst_rank)
+        if self.machine.topo.shares_cache(src_core, dst_core):
+            latency = params.t_wakeup_shared
+        else:
+            latency = params.t_wakeup_remote
+        self.engine.schedule(latency, self.endpoints[dst_rank].dispatch, pkt)
+
+    # --------------------------------------------------- LMT concurrency
+    def note_lmt_start(self) -> None:
+        self._active_lmts += 1
+        self.max_concurrent_lmts = max(self.max_concurrent_lmts, self._active_lmts)
+
+    def note_lmt_end(self) -> None:
+        self._active_lmts -= 1
+
+    @contextmanager
+    def collective_hint(self, concurrent: int):
+        """Tell the LMT layer that ``concurrent`` large transfers are
+        about to run at once (lowering the effective DMAmin).
+
+        Depth-counted: ranks enter and leave a collective at different
+        simulated times, and the hint stays active until the last
+        participant leaves.
+        """
+        self._hint_depth += 1
+        self.lmt_hint = max(self.lmt_hint, concurrent, 1)
+        try:
+            yield
+        finally:
+            self._hint_depth -= 1
+            if self._hint_depth == 0:
+                self.lmt_hint = 1
+
+
+@dataclass
+class RankContext:
+    """Everything a rank's ``main`` generator needs."""
+
+    world: MpiWorld
+    rank: int
+    comm: Communicator = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.comm = Communicator(self.world, self.rank)
+
+    # -- sugar ------------------------------------------------------------
+    @property
+    def engine(self) -> Engine:
+        return self.world.engine
+
+    @property
+    def machine(self) -> Machine:
+        return self.world.machine
+
+    @property
+    def core(self) -> int:
+        return self.world.core_of(self.rank)
+
+    @property
+    def now(self) -> float:
+        return self.world.engine.now
+
+    def alloc(self, nbytes: int, name: str = "") -> Buffer:
+        """Allocate a buffer in this rank's address space."""
+        return self.world.spaces[self.rank].alloc(nbytes, name=name)
+
+    def compute(self, seconds: float):
+        """Pure CPU work (no memory traffic) on this rank's core.
+        Generator.  Subject to the world's noise model, if any."""
+        if self.world.noise is not None:
+            seconds = self.world.noise.jitter(seconds)
+        self.machine.papi.add(self.core, "CPU_BUSY", seconds)
+        yield self.machine.cores[self.core].busy(seconds)
+
+    def touch(self, buf, write: bool = False, intensity: float = 1.0):
+        """Scan a working set through the cache hierarchy (models a
+        compute phase).  Generator."""
+        from repro.kernel.copy import stream_access
+        from repro.mpi.datatypes import as_views
+
+        return stream_access(
+            self.machine, self.core, as_views(buf), write=write, intensity=intensity
+        )
+
+
+@dataclass
+class MpiRunResult:
+    """Outcome of one :func:`run_mpi` call."""
+
+    results: list
+    elapsed: float
+    machine: Machine
+    world: MpiWorld
+
+    @property
+    def papi(self):
+        return self.machine.papi
+
+    def l2_misses(self, rank: Optional[int] = None) -> float:
+        """Total simulated L2 misses (per rank, or summed) — the
+        Table 2 measurement."""
+        if rank is not None:
+            return self.papi.read(self.world.core_of(rank), "L2_MISSES")
+        return sum(
+            self.papi.read(core, "L2_MISSES") for core in self.world.bindings
+        )
+
+
+def run_mpi(
+    topo: TopologySpec,
+    nprocs: int,
+    main: Callable[[RankContext], Any],
+    bindings: Optional[Sequence[int]] = None,
+    mode: str = "default",
+    config: Optional[LmtConfig] = None,
+    eager_cells: int = 8,
+    until: Optional[float] = None,
+    trace: bool = False,
+    coll_tuning: Optional[CollTuning] = None,
+    noise=None,
+) -> MpiRunResult:
+    """Run ``main(ctx)`` on ``nprocs`` simulated ranks.
+
+    Parameters
+    ----------
+    topo:
+        Machine description (see :mod:`repro.hw.presets`).
+    main:
+        Generator function taking a :class:`RankContext`; its return
+        value lands in ``MpiRunResult.results[rank]``.
+    bindings:
+        Core per rank; defaults to ranks on cores ``0..nprocs-1``.
+    mode / config:
+        LMT strategy — a mode name, or a full :class:`LmtConfig`.
+    """
+    engine = Engine(trace=trace)
+    machine = Machine(engine, topo)
+    policy = LmtPolicy(topo, config or LmtConfig(mode=mode))
+    world = MpiWorld(
+        engine,
+        machine,
+        nprocs,
+        list(bindings) if bindings is not None else list(range(nprocs)),
+        policy,
+        eager_cells=eager_cells,
+        coll_tuning=coll_tuning,
+        noise=noise,
+    )
+    contexts = [RankContext(world, r) for r in range(nprocs)]
+    processes = [
+        engine.process(main(ctx), name=f"rank{ctx.rank}") for ctx in contexts
+    ]
+    engine.run(until=until)
+    return MpiRunResult(
+        results=[p.result for p in processes],
+        elapsed=engine.now,
+        machine=machine,
+        world=world,
+    )

@@ -1,0 +1,40 @@
+"""Discrete-event simulation engine.
+
+A tiny, deterministic, SimPy-flavoured engine.  Simulated activities are
+written as generator functions; they ``yield`` *waitables* and are
+resumed when the waitable fires:
+
+- a ``float``/``int`` or :class:`Timeout` — sleep for simulated seconds,
+- an :class:`Event` — park until someone calls :meth:`Event.succeed`,
+- another generator — run it as a subroutine (trampolined call),
+- a :class:`Process` — join (wait for completion, receive return value),
+- :class:`AllOf` / :class:`AnyOf` — composite waits.
+
+The engine is single-threaded and deterministic: events at equal
+timestamps fire in scheduling order.  A drained event queue with parked
+processes raises :class:`repro.errors.DeadlockError`, which turns MPI
+protocol bugs into crisp test failures instead of hangs.
+"""
+
+from repro.sim.engine import Engine, Handle
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.noise import NoiseModel
+from repro.sim.process import Process
+from repro.sim.resources import Channel, FifoLock, ProcessorSharing
+from repro.sim.trace import TraceRecord, Tracer
+
+__all__ = [
+    "Engine",
+    "Handle",
+    "Event",
+    "Timeout",
+    "AllOf",
+    "AnyOf",
+    "Process",
+    "ProcessorSharing",
+    "FifoLock",
+    "Channel",
+    "Tracer",
+    "TraceRecord",
+    "NoiseModel",
+]

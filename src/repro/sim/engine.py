@@ -1,0 +1,153 @@
+"""The discrete-event engine: clock, event heap, process registry."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim.events import Event, Timeout
+from repro.sim.trace import Tracer
+
+__all__ = ["Engine", "Handle"]
+
+
+class Handle:
+    """A cancellable scheduled callback (returned by :meth:`Engine.schedule`)."""
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable, args: tuple) -> None:
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running; safe to call repeatedly."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Handle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class Engine:
+    """Deterministic discrete-event scheduler.
+
+    Time is a float in seconds starting at 0.  Callbacks scheduled for
+    the same instant run in scheduling order, which (with single-shot
+    events and deferred wakeups) makes every simulation replayable.
+    """
+
+    def __init__(self, trace: bool = False) -> None:
+        self.now: float = 0.0
+        self._heap: list[Handle] = []
+        self._seq = 0
+        self._alive_processes: set = set()
+        self._failed: list[BaseException] = []
+        self.tracer = Tracer(enabled=trace)
+
+    # -- scheduling ---------------------------------------------------
+    def schedule(self, delay: float, fn: Callable, *args: Any) -> Handle:
+        """Run ``fn(*args)`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        self._seq += 1
+        handle = Handle(self.now + delay, self._seq, fn, args)
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    def call_soon(self, fn: Callable, *args: Any) -> Handle:
+        """Run ``fn(*args)`` at the current instant, after the current
+        callback completes (deferred, never re-entrant)."""
+        return self.schedule(0.0, fn, *args)
+
+    # -- waitable constructors ----------------------------------------
+    def event(self, name: str = "") -> Event:
+        return Event(self, name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(delay, value)
+
+    def timer(self, delay: float, value: Any = None) -> Event:
+        """An :class:`Event` that succeeds after ``delay`` seconds —
+        a Timeout usable inside :class:`AllOf`/:class:`AnyOf`."""
+        event = Event(self, name=f"timer+{delay:g}")
+        self.schedule(delay, event.succeed, value)
+        return event
+
+    # -- processes ----------------------------------------------------
+    def process(
+        self,
+        gen: Generator | Callable[..., Generator],
+        *args: Any,
+        name: str = "",
+        daemon: bool = False,
+    ) -> "Process":  # noqa: F821
+        """Spawn a process from a generator (or generator function).
+
+        The process starts at the current instant (deferred first step).
+        Daemon processes (service loops: DMA engine, progress engines)
+        are excluded from deadlock detection and may outlive the run.
+        """
+        from repro.sim.process import Process
+
+        if callable(gen) and not isinstance(gen, Generator):
+            gen = gen(*args)
+        elif args:
+            raise SimulationError("args are only accepted with a generator function")
+        return Process(self, gen, name=name, daemon=daemon)
+
+    def _register(self, process) -> None:
+        self._alive_processes.add(process)
+
+    def _unregister(self, process) -> None:
+        self._alive_processes.discard(process)
+
+    def _record_failure(self, exc: BaseException) -> None:
+        self._failed.append(exc)
+
+    # -- main loop ----------------------------------------------------
+    def step(self) -> bool:
+        """Run the next scheduled callback.  Returns False if none left."""
+        while self._heap:
+            handle = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            if handle.time < self.now - 1e-18:
+                raise SimulationError("event heap corrupted: time went backwards")
+            self.now = handle.time
+            handle.fn(*handle.args)
+            if self._failed:
+                raise self._failed[0]
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the heap drains (or past ``until``).
+
+        Raises :class:`DeadlockError` if the heap drains while processes
+        are still parked on events, and re-raises the first uncaught
+        exception from any process.
+        """
+        while self._heap:
+            if until is not None and self._heap[0].time > until:
+                self.now = until
+                return self.now
+            self.step()
+        if self._alive_processes:
+            blocked = sorted(p.name or repr(p) for p in self._alive_processes)
+            raise DeadlockError(blocked)
+        return self.now
+
+    def run_processes(
+        self,
+        gens: Iterable[Generator | Callable[[], Generator]],
+        until: Optional[float] = None,
+    ) -> list[Any]:
+        """Spawn one process per generator, run to completion, return
+        their results in order."""
+        procs = [self.process(g, name=f"proc-{i}") for i, g in enumerate(gens)]
+        self.run(until=until)
+        return [p.result for p in procs]

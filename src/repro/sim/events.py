@@ -1,0 +1,153 @@
+"""Waitable primitives for the simulation engine."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence
+
+from repro.errors import SimulationError
+
+__all__ = ["Event", "Timeout", "AllOf", "AnyOf"]
+
+
+class Event:
+    """A one-shot waitable that processes can ``yield`` on.
+
+    An event starts *untriggered*.  :meth:`succeed` delivers a value to
+    every waiter; :meth:`fail` delivers an exception (raised inside the
+    waiting process at the yield point).  Triggering twice is an error —
+    it almost always indicates a protocol bug in the caller.
+    """
+
+    __slots__ = ("engine", "name", "_waiters", "triggered", "ok", "value")
+
+    def __init__(self, engine: "Engine", name: str = "") -> None:  # noqa: F821
+        self.engine = engine
+        self.name = name
+        self._waiters: list[Callable[[Event], None]] = []
+        self.triggered = False
+        self.ok = False
+        self.value: Any = None
+
+    def __repr__(self) -> str:
+        state = "triggered" if self.triggered else "pending"
+        return f"<Event {self.name or hex(id(self))} {state}>"
+
+    # -- triggering ---------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully, waking all waiters."""
+        self._trigger(ok=True, value=value)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Trigger the event with an exception delivered to waiters."""
+        if not isinstance(exc, BaseException):
+            raise SimulationError(f"Event.fail needs an exception, got {exc!r}")
+        self._trigger(ok=False, value=exc)
+        return self
+
+    def _trigger(self, ok: bool, value: Any) -> None:
+        if self.triggered:
+            raise SimulationError(f"{self!r} triggered twice")
+        self.triggered = True
+        self.ok = ok
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for callback in waiters:
+            # Deferred delivery keeps wake order deterministic and
+            # avoids re-entrant process stepping.
+            self.engine.call_soon(callback, self)
+
+    # -- waiting ------------------------------------------------------
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Register ``callback(event)``; fires immediately (deferred)
+        if the event already triggered."""
+        if self.triggered:
+            self.engine.call_soon(callback, self)
+        else:
+            self._waiters.append(callback)
+
+
+class Timeout:
+    """Sleep for ``delay`` simulated seconds.
+
+    ``yield 0.5`` and ``yield Timeout(0.5)`` are equivalent; the class
+    form exists so a value can be attached (delivered to the yield).
+    """
+
+    __slots__ = ("delay", "value")
+
+    def __init__(self, delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay}")
+        self.delay = float(delay)
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Timeout({self.delay!r})"
+
+
+class _Composite(Event):
+    """Base for AllOf/AnyOf: an Event derived from child events."""
+
+    __slots__ = ("_children", "_pending")
+
+    def __init__(self, engine: "Engine", children: Sequence[Event]) -> None:  # noqa: F821
+        super().__init__(engine, name=type(self).__name__)
+        self._children = list(children)
+        self._pending = len(self._children)
+        if not self._children:
+            raise SimulationError(f"{type(self).__name__} needs at least one event")
+        for index, child in enumerate(self._children):
+            child.add_callback(self._make_callback(index))
+
+    def _make_callback(self, index: int) -> Callable[[Event], None]:
+        raise NotImplementedError
+
+
+class AllOf(_Composite):
+    """Triggers when *all* children have triggered.
+
+    The value is the list of child values in construction order.  The
+    first child failure fails the composite.
+    """
+
+    __slots__ = ()
+
+    def _make_callback(self, index: int):
+        def on_child(child: Event) -> None:
+            if self.triggered:
+                return
+            if not child.ok:
+                self.fail(child.value)
+                return
+            self._pending -= 1
+            if self._pending == 0:
+                self.succeed([c.value for c in self._children])
+
+        return on_child
+
+
+class AnyOf(_Composite):
+    """Triggers when the *first* child triggers.
+
+    The value is ``(index, value)`` of the winning child; a first-child
+    failure fails the composite.
+    """
+
+    __slots__ = ()
+
+    def _make_callback(self, index: int):
+        def on_child(child: Event) -> None:
+            if self.triggered:
+                return
+            if not child.ok:
+                self.fail(child.value)
+                return
+            self.succeed((index, child.value))
+
+        return on_child
+
+
+def first_of(engine: "Engine", events: Sequence[Event]) -> AnyOf:  # noqa: F821
+    """Convenience wrapper used by progress loops."""
+    return AnyOf(engine, events)

@@ -1,0 +1,56 @@
+"""Optional structured tracing of simulation activity.
+
+Tracing is off by default (zero overhead beyond one branch).  When
+enabled, components emit :class:`TraceRecord` rows which tests and the
+CLI can filter — e.g. every LMT chunk copy, DMA submission, or cache
+writeback burst.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+__all__ = ["TraceRecord", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced occurrence."""
+
+    time: float
+    kind: str
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        body = " ".join(f"{k}={v}" for k, v in self.fields.items())
+        return f"[{self.time * 1e6:12.3f}us] {self.kind} {body}"
+
+
+class Tracer:
+    """Collects trace records and fans them out to subscribers."""
+
+    def __init__(self, enabled: bool = False, capacity: Optional[int] = None) -> None:
+        self.enabled = enabled
+        self.capacity = capacity
+        self.records: list[TraceRecord] = []
+        self._subscribers: list[Callable[[TraceRecord], None]] = []
+
+    def emit(self, time: float, kind: str, **fields: Any) -> None:
+        if not self.enabled:
+            return
+        record = TraceRecord(time, kind, fields)
+        self.records.append(record)
+        if self.capacity is not None and len(self.records) > self.capacity:
+            del self.records[: len(self.records) - self.capacity]
+        for subscriber in self._subscribers:
+            subscriber(record)
+
+    def subscribe(self, callback: Callable[[TraceRecord], None]) -> None:
+        self._subscribers.append(callback)
+
+    def of_kind(self, kind: str) -> Iterator[TraceRecord]:
+        return (r for r in self.records if r.kind == kind)
+
+    def clear(self) -> None:
+        self.records.clear()

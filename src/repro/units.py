@@ -1,0 +1,114 @@
+"""Size and time units used throughout the simulator.
+
+The paper reports message sizes in KiB/MiB and throughput in MiB/s; the
+simulator's internal clock is in seconds (floats).  All byte quantities
+are plain ``int``; helpers here keep call sites readable and make the
+benchmark output match the paper's axis labels (``64kiB``, ``1MiB``...).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "KiB",
+    "MiB",
+    "GiB",
+    "CACHE_LINE",
+    "PAGE_SIZE",
+    "fmt_size",
+    "fmt_throughput",
+    "parse_size",
+    "mib_per_s",
+    "ceil_div",
+    "align_up",
+    "align_down",
+]
+
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+
+#: Cache line size on the paper's Xeon hosts (Core2 era): 64 bytes.
+CACHE_LINE = 64
+
+#: x86 base page size; also the unit of the kernel pipe buffers.
+PAGE_SIZE = 4 * KiB
+
+_SUFFIXES = (
+    (GiB, "GiB"),
+    (MiB, "MiB"),
+    (KiB, "KiB"),
+)
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Integer division rounding up; ``b`` must be positive."""
+    if b <= 0:
+        raise ValueError(f"ceil_div divisor must be positive, got {b}")
+    return -(-a // b)
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round ``value`` up to the nearest multiple of ``alignment``."""
+    return ceil_div(value, alignment) * alignment
+
+
+def align_down(value: int, alignment: int) -> int:
+    """Round ``value`` down to the nearest multiple of ``alignment``."""
+    if alignment <= 0:
+        raise ValueError(f"alignment must be positive, got {alignment}")
+    return (value // alignment) * alignment
+
+
+def fmt_size(nbytes: int) -> str:
+    """Format a byte count the way the paper labels its x axes.
+
+    >>> fmt_size(64 * 1024)
+    '64KiB'
+    >>> fmt_size(4 * 1024 * 1024)
+    '4MiB'
+    >>> fmt_size(1536)
+    '1.5KiB'
+    """
+    for unit, name in _SUFFIXES:
+        if nbytes >= unit:
+            q = nbytes / unit
+            if q == int(q):
+                return f"{int(q)}{name}"
+            return f"{q:g}{name}"
+    return f"{nbytes}B"
+
+
+def parse_size(text: str) -> int:
+    """Parse ``'64KiB'``/``'4MiB'``/``'123'`` into a byte count.
+
+    Case-insensitive; accepts the abbreviated ``k``/``m``/``g`` suffixes
+    and optional ``iB``/``B`` endings.
+    """
+    s = text.strip().lower()
+    for factor, names in (
+        (GiB, ("gib", "gb", "g")),
+        (MiB, ("mib", "mb", "m")),
+        (KiB, ("kib", "kb", "k")),
+        (1, ("b", "")),
+    ):
+        for name in names:
+            if name and s.endswith(name):
+                num = s[: -len(name)].strip()
+                if not num:
+                    break
+                return int(float(num) * factor)
+    try:
+        return int(s)
+    except ValueError:
+        raise ValueError(f"cannot parse size: {text!r}") from None
+
+
+def mib_per_s(nbytes: int, seconds: float) -> float:
+    """Throughput in MiB/s, the unit of every figure in the paper."""
+    if seconds <= 0:
+        raise ValueError(f"elapsed time must be positive, got {seconds}")
+    return nbytes / MiB / seconds
+
+
+def fmt_throughput(nbytes: int, seconds: float) -> str:
+    return f"{mib_per_s(nbytes, seconds):.1f} MiB/s"

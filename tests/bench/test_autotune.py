@@ -1,0 +1,51 @@
+"""Tests for the Sec. 3.5 threshold experiments."""
+
+import pytest
+
+from repro.core.autotune import find_ioat_crossover
+from repro.hw import xeon_e5345
+from repro.units import KiB, MiB
+
+TOPO = xeon_e5345()
+SIZES = [256 * KiB, 512 * KiB, 1 * MiB, 2 * MiB, 4 * MiB, 8 * MiB]
+
+
+@pytest.fixture(scope="module")
+def shared_result():
+    return find_ioat_crossover(TOPO, bindings=(0, 1), sizes=SIZES, repetitions=3)
+
+
+@pytest.fixture(scope="module")
+def remote_result():
+    return find_ioat_crossover(TOPO, bindings=(0, 4), sizes=SIZES, repetitions=3)
+
+
+def test_crossover_exists_both_localities(shared_result, remote_result):
+    assert shared_result.measured_crossover is not None
+    assert remote_result.measured_crossover is not None
+
+
+def test_crossover_larger_without_shared_cache(shared_result, remote_result):
+    """Sec. 3.5: the threshold 'jumps' when no cache is shared."""
+    assert remote_result.measured_crossover >= shared_result.measured_crossover
+
+
+def test_predictions_match_formula(shared_result, remote_result):
+    assert shared_result.predicted_dmamin == 1 * MiB
+    assert remote_result.predicted_dmamin == 2 * MiB
+
+
+def test_measured_crossover_within_octave_of_prediction(
+    shared_result, remote_result
+):
+    """The DMAmin heuristic should land within ~2x of the measured
+    crossover (it is a heuristic, not a fit)."""
+    for res in (shared_result, remote_result):
+        ratio = res.measured_crossover / res.predicted_dmamin
+        assert 0.5 <= ratio <= 4.0, res.describe()
+
+
+def test_describe_is_informative(shared_result):
+    text = shared_result.describe()
+    assert "shared cache" in text
+    assert "DMAmin" in text

@@ -1,0 +1,65 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.bench.charts import MARKS, ascii_chart
+from repro.bench.harness import Series, Sweep
+from repro.errors import BenchmarkError
+from repro.units import KiB, MiB
+
+
+def _sweep():
+    sweep = Sweep("Test figure", "message size", "MiB/s")
+    a = sweep.new_series("alpha")
+    b = sweep.new_series("beta")
+    for i, x in enumerate([64 * KiB, 256 * KiB, 1 * MiB, 4 * MiB]):
+        a.add(x, 1000 + 200 * i)
+        b.add(x, 2400 - 300 * i)
+    return sweep
+
+
+def test_chart_contains_title_legend_and_axis_labels():
+    text = ascii_chart(_sweep())
+    assert "Test figure" in text
+    assert "alpha" in text and "beta" in text
+    assert "64KiB" in text and "4MiB" in text
+    assert "MiB/s" in text
+
+
+def test_chart_marks_present_per_series():
+    text = ascii_chart(_sweep())
+    assert MARKS[0] in text and MARKS[1] in text
+
+
+def test_chart_dimensions_respected():
+    text = ascii_chart(_sweep(), width=40, height=10)
+    plot_lines = [l for l in text.splitlines() if "|" in l]
+    assert len(plot_lines) == 10
+    assert all(len(l.split("|", 1)[1]) <= 40 for l in plot_lines)
+
+
+def test_higher_values_plot_higher():
+    sweep = Sweep("t", "x", "y")
+    s = sweep.new_series("s")
+    s.add(64 * KiB, 100.0)
+    s.add(4 * MiB, 1000.0)
+    text = ascii_chart(sweep, width=40, height=12)
+    rows = [l.split("|", 1)[1] for l in text.splitlines() if "|" in l]
+    first_col = next(r for r, line in enumerate(rows) if line.lstrip().startswith("*") or "*" in line[:3])
+    last_col = next(r for r, line in enumerate(rows) if "*" in line[-3:])
+    assert last_col < first_col  # the right-hand point is on a higher row
+
+
+def test_empty_sweep_rejected():
+    with pytest.raises(BenchmarkError):
+        ascii_chart(Sweep("e", "x", "y"))
+
+
+def test_tiny_dimensions_rejected():
+    with pytest.raises(BenchmarkError):
+        ascii_chart(_sweep(), width=5, height=2)
+
+
+def test_y_max_override_clips():
+    text = ascii_chart(_sweep(), y_max=10000)
+    assert "10000" in text

@@ -1,0 +1,35 @@
+"""Tests for the repro-bench CLI."""
+
+import pytest
+
+from repro.bench.cli import main
+
+
+def test_list(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "figures" in out and "tables" in out
+
+
+def test_no_args_shows_help(capsys):
+    assert main([]) == 2
+    assert "repro-bench" in capsys.readouterr().out
+
+
+def test_bad_figure_rejected():
+    with pytest.raises(SystemExit):
+        main(["--figure", "9"])
+
+
+@pytest.mark.slow
+def test_figure_fast_run(capsys):
+    assert main(["--figure", "4", "--fast"]) == 0
+    out = capsys.readouterr().out
+    assert "KNEM LMT" in out and "64KiB" in out
+
+
+@pytest.mark.slow
+def test_figure_csv(capsys):
+    assert main(["--figure", "6", "--fast", "--csv"]) == 0
+    out = capsys.readouterr().out
+    assert out.splitlines()[0].startswith("size,")

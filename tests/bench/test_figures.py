@@ -1,0 +1,54 @@
+"""Smoke + shape tests for the figure generators (fast sweeps).
+
+The full-resolution assertions live in ``benchmarks/``; here each
+generator runs with a reduced size list so the whole file stays fast.
+"""
+
+import pytest
+
+from repro.bench.figures import FIGURES, run_fig4, run_fig5, run_fig7
+from repro.bench.reporting import format_csv, format_series_table
+from repro.units import KiB, MiB
+
+SIZES = [128 * KiB, 1 * MiB, 4 * MiB]
+
+
+def test_all_figures_registered():
+    assert sorted(FIGURES) == [3, 4, 5, 6, 7]
+
+
+def test_fig4_reduced_shape():
+    sweep = run_fig4(sizes=SIZES)
+    assert sweep.xs == SIZES
+    d = sweep.get("default LMT")
+    k = sweep.get("KNEM LMT")
+    i = sweep.get("KNEM LMT with I/OAT")
+    assert d.y_at(1 * MiB) >= k.y_at(1 * MiB) > i.y_at(1 * MiB)
+    assert i.y_at(4 * MiB) > d.y_at(4 * MiB)
+
+
+def test_fig5_reduced_shape():
+    sweep = run_fig5(sizes=SIZES)
+    d = sweep.get("default LMT")
+    v = sweep.get("vmsplice LMT")
+    k = sweep.get("KNEM LMT")
+    assert k.y_at(1 * MiB) > v.y_at(1 * MiB) > d.y_at(1 * MiB)
+
+
+def test_fig7_default_uses_stock_eager_below_64k():
+    """The default curve's sub-64 KiB points run the eager-cell path;
+    KNEM's run the LMT (the paper lowered the threshold only for the
+    new backends)."""
+    sweep = run_fig7(sizes=[16 * KiB], nprocs=4)
+    assert sweep.get("KNEM LMT").y_at(16 * KiB) > sweep.get("default LMT").y_at(
+        16 * KiB
+    )
+
+
+def test_figure_tables_render():
+    sweep = run_fig4(sizes=[256 * KiB])
+    text = format_series_table(sweep)
+    assert "256KiB" in text
+    csv = format_csv(sweep)
+    assert csv.splitlines()[0].startswith("size,")
+    assert str(256 * KiB) in csv

@@ -1,0 +1,68 @@
+"""Tests for the extra IMB kernels (PingPing, Exchange, collectives)."""
+
+import pytest
+
+from repro.bench.imb import imb_collective, imb_exchange, imb_pingping, imb_pingpong
+from repro.errors import BenchmarkError
+from repro.hw import xeon_e5345
+from repro.units import KiB, MiB
+
+TOPO = xeon_e5345()
+
+
+def test_pingping_moves_double_the_payload():
+    """PingPing completes two opposing messages per iteration.  The
+    two receivers copy on their own cores, and with separate send/recv
+    buffers the source data stays cache-resident between iterations, so
+    per-iteration time lands in the same ballpark as one PingPong
+    transfer while moving twice the bytes."""
+    pp = imb_pingpong(TOPO, 512 * KiB, mode="knem", bindings=(0, 4))
+    ping = imb_pingping(TOPO, 512 * KiB, mode="knem", bindings=(0, 4))
+    aggregate_rate = 2 * ping.nbytes / ping.one_way_seconds
+    pingpong_rate = pp.nbytes / pp.one_way_seconds
+    assert aggregate_rate > 1.3 * pingpong_rate
+    # Per-iteration time stays within sane bounds of a single transfer.
+    assert 0.3 * pp.one_way_seconds < ping.one_way_seconds < 2.0 * pp.one_way_seconds
+
+
+def test_pingping_rejects_bad():
+    with pytest.raises(BenchmarkError):
+        imb_pingping(TOPO, 0)
+
+
+def test_exchange_runs_and_scales():
+    # Compare within one protocol regime (both rendezvous).
+    small = imb_exchange(TOPO, 128 * KiB, mode="knem")
+    large = imb_exchange(TOPO, 512 * KiB, mode="knem")
+    assert large.seconds_per_op > small.seconds_per_op
+    assert small.op == "exchange" and small.nprocs == 4
+
+
+@pytest.mark.parametrize("op", ["bcast", "allreduce", "allgather", "reduce"])
+def test_collective_kernels_run(op):
+    r = imb_collective(TOPO, op, 64 * KiB, mode="knem", repetitions=2)
+    assert r.seconds_per_op > 0
+    assert r.op == op
+
+
+def test_collective_kernel_rejects_unknown():
+    with pytest.raises(BenchmarkError):
+        imb_collective(TOPO, "gossip", 1024)
+
+
+def test_bcast_kernel_benefits_from_knem_across_dies():
+    """Collective kernels inherit the LMT regime split: KNEM beats the
+    default for large broadcasts when ranks span dies."""
+    bindings = [0, 2, 4, 6]  # four dies, no shared caches
+    d = imb_collective(TOPO, "bcast", 1 * MiB, mode="default", nprocs=4,
+                       bindings=bindings, repetitions=2)
+    k = imb_collective(TOPO, "bcast", 1 * MiB, mode="knem", nprocs=4,
+                       bindings=bindings, repetitions=2)
+    assert k.seconds_per_op < d.seconds_per_op
+
+
+def test_allgather_kernel_more_expensive_than_bcast():
+    """Allgather moves p blocks everywhere; bcast moves one payload."""
+    b = imb_collective(TOPO, "bcast", 256 * KiB, mode="knem", repetitions=2)
+    a = imb_collective(TOPO, "allgather", 256 * KiB, mode="knem", repetitions=2)
+    assert a.seconds_per_op > b.seconds_per_op

@@ -1,0 +1,88 @@
+"""Tests for the NAS skeletons and Table 1 machinery."""
+
+import pytest
+
+from repro.bench.nas import BENCHMARKS, run_nas
+from repro.bench.nas.spec import Compute, NasSpec, Stream
+from repro.errors import BenchmarkError
+from repro.hw import xeon_e5345
+from repro.units import KiB, MiB
+
+TOPO = xeon_e5345()
+
+
+def test_all_eight_benchmarks_registered():
+    assert sorted(BENCHMARKS) == [
+        "bt.B.4", "cg.B.8", "ep.B.4", "ft.B.8",
+        "is.B.8", "lu.B.8", "mg.B.8", "sp.B.8",
+    ]
+
+
+def test_spec_labels_and_nprocs():
+    assert BENCHMARKS["bt.B.4"].nprocs == 4
+    assert BENCHMARKS["ep.B.4"].nprocs == 4
+    assert BENCHMARKS["is.B.8"].nprocs == 8
+    for label, spec in BENCHMARKS.items():
+        assert spec.label == label
+        assert spec.paper_default_seconds > 0
+
+
+def test_spec_validation():
+    with pytest.raises(BenchmarkError):
+        NasSpec(
+            name="x", klass="B", nprocs=0, iterations=1,
+            arrays={}, iteration=[Compute(1.0)],
+        )
+    with pytest.raises(BenchmarkError):
+        NasSpec(
+            name="x", klass="B", nprocs=1, iterations=1,
+            arrays={}, iteration=[Stream("missing")],
+        )
+
+
+def test_is_runs_and_extrapolates():
+    spec = BENCHMARKS["is.B.8"]
+    r1 = run_nas(spec, TOPO, iterations=1)
+    r2 = run_nas(spec, TOPO, iterations=2)
+    assert r1.label == "is.B.8"
+    # Extrapolation: both estimate the same 10-iteration total.
+    assert r1.seconds == pytest.approx(r2.seconds, rel=0.15)
+
+
+def test_is_default_matches_paper_calibration():
+    spec = BENCHMARKS["is.B.8"]
+    r = run_nas(spec, TOPO, mode="default", iterations=3)
+    assert r.seconds == pytest.approx(spec.paper_default_seconds, rel=0.10)
+
+
+def test_is_knem_ioat_speedup_shape():
+    """The paper's headline: ~25% faster with KNEM + I/OAT."""
+    spec = BENCHMARKS["is.B.8"]
+    base = run_nas(spec, TOPO, mode="default", iterations=2)
+    fast = run_nas(spec, TOPO, mode="knem-ioat", iterations=2)
+    speedup = fast.speedup_vs(base)
+    assert 0.15 < speedup < 0.45
+    # Fewer misses drive it (Table 2's last row).
+    assert fast.l2_misses < base.l2_misses
+
+
+def test_ep_insensitive_to_mode():
+    spec = BENCHMARKS["ep.B.4"]
+    base = run_nas(spec, TOPO, mode="default", iterations=2)
+    fast = run_nas(spec, TOPO, mode="knem-ioat", iterations=2)
+    assert abs(fast.speedup_vs(base)) < 0.02
+
+
+def test_mg_notes_mention_vmsplice_hang():
+    assert "vmsplice" in BENCHMARKS["mg.B.8"].notes
+
+
+def test_custom_tiny_spec_runs():
+    spec = NasSpec(
+        name="mini", klass="T", nprocs=2, iterations=2,
+        arrays={"w": 256 * KiB},
+        iteration=[Stream("w", passes=1), Compute(0.001)],
+        paper_default_seconds=1.0,
+    )
+    r = run_nas(spec, TOPO, iterations=2)
+    assert r.seconds > 0.002  # two iterations of >= 1ms compute

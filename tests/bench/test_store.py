@@ -1,0 +1,76 @@
+"""Tests for the sweep persistence/regression store."""
+
+import pytest
+
+from repro.bench.harness import Sweep
+from repro.bench.store import compare_sweeps, load_sweep, save_sweep
+from repro.errors import BenchmarkError
+from repro.units import KiB, MiB
+
+
+def _sweep(scale=1.0):
+    sweep = Sweep("Figure T", "size", "MiB/s")
+    s = sweep.new_series("knem")
+    d = sweep.new_series("default")
+    for x in (64 * KiB, 1 * MiB):
+        s.add(x, 3000.0 * scale)
+        d.add(x, 1000.0 * scale)
+    return sweep
+
+
+def test_save_load_roundtrip(tmp_path):
+    path = tmp_path / "sub" / "fig.json"
+    original = _sweep()
+    save_sweep(original, path)
+    loaded = load_sweep(path)
+    assert loaded.title == original.title
+    assert [s.label for s in loaded.series] == ["knem", "default"]
+    assert loaded.get("knem").points == original.get("knem").points
+
+
+def test_load_missing_and_corrupt(tmp_path):
+    with pytest.raises(BenchmarkError):
+        load_sweep(tmp_path / "nope.json")
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    with pytest.raises(BenchmarkError):
+        load_sweep(bad)
+
+
+def test_compare_identical_is_ok():
+    comparison = compare_sweeps(_sweep(), _sweep())
+    assert comparison.ok
+    assert len(comparison.rows) == 4
+    assert "OK" in comparison.format()
+
+
+def test_compare_flags_regressions():
+    comparison = compare_sweeps(_sweep(), _sweep(scale=0.8), tolerance=0.05)
+    assert not comparison.ok
+    assert len(comparison.regressions) == 4
+    assert "REGRESSIONS" in comparison.format()
+
+
+def test_compare_within_tolerance_passes():
+    comparison = compare_sweeps(_sweep(), _sweep(scale=0.97), tolerance=0.05)
+    assert comparison.ok
+
+
+def test_compare_missing_series_rejected():
+    base = _sweep()
+    current = Sweep("Figure T", "size", "MiB/s")
+    current.new_series("other").add(64 * KiB, 1.0)
+    with pytest.raises(BenchmarkError):
+        compare_sweeps(base, current)
+
+
+def test_cli_save_and_compare(tmp_path, capsys):
+    from repro.bench.cli import main
+
+    path = tmp_path / "fig6.json"
+    assert main(["--figure", "6", "--fast", "--save", str(path)]) == 0
+    capsys.readouterr()
+    # Deterministic simulation: an immediate re-run compares clean.
+    assert main(["--figure", "6", "--fast", "--compare", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "OK" in out

@@ -1,0 +1,70 @@
+"""Tests for trace-based timelines (the Fig. 2 visualization)."""
+
+import pytest
+
+from repro.bench.timeline import core_busy_fraction, render_timeline
+from repro.errors import BenchmarkError
+from repro.hw import xeon_e5345
+from repro.mpi import run_mpi
+from repro.sim.trace import Tracer
+from repro.units import MiB
+
+TOPO = xeon_e5345()
+
+
+def _traced_run(mode):
+    def main(ctx):
+        comm = ctx.comm
+        buf = ctx.alloc(2 * MiB)
+        if ctx.rank == 0:
+            yield comm.Send(buf, dest=1)
+        else:
+            yield comm.Recv(buf, source=0)
+
+    return run_mpi(TOPO, 2, main, bindings=[0, 4], mode=mode, trace=True)
+
+
+def test_untraced_run_raises():
+    tracer = Tracer(enabled=True)
+    with pytest.raises(BenchmarkError):
+        render_timeline(tracer, ncores=8)
+
+
+def test_knem_timeline_shows_receiver_core_copying():
+    r = _traced_run("knem")
+    tracer = r.machine.engine.tracer
+    text = render_timeline(tracer, ncores=8)
+    assert "core4" in text and "dma" in text
+    # Receiver core (4) did the single copy; sender core (0) none.
+    assert core_busy_fraction(tracer, 4) > 0.5
+    assert core_busy_fraction(tracer, 0) < 0.05
+    # No DMA activity in the kernel-copy mode.
+    assert "=" not in text.splitlines()[9]
+
+
+def test_ioat_timeline_shows_dma_lane_and_idle_cores():
+    """The Fig. 2 picture: with I/OAT the copy runs in the DMA lane
+    while both cores stay (almost) idle."""
+    r = _traced_run("knem-ioat")
+    tracer = r.machine.engine.tracer
+    text = render_timeline(tracer, ncores=8)
+    dma_line = next(l for l in text.splitlines() if l.startswith("dma"))
+    assert "=" in dma_line
+    assert core_busy_fraction(tracer, 4) < 0.1
+
+
+def test_default_timeline_shows_both_cores_copying():
+    r = _traced_run("default")
+    tracer = r.machine.engine.tracer
+    # Both ends actively copy (pipelined through the ring; the sender
+    # also waits on cell handoffs, so its busy fraction is lower).
+    assert core_busy_fraction(tracer, 0) > 0.2
+    assert core_busy_fraction(tracer, 4) > 0.35
+
+
+def test_timeline_dimensions():
+    r = _traced_run("knem")
+    text = render_timeline(r.machine.engine.tracer, ncores=4, width=40)
+    lanes = [l for l in text.splitlines() if l.startswith("core")]
+    assert len(lanes) == 4
+    assert all(len(l.split("|", 1)[1]) == 40 for l in lanes)

@@ -1,0 +1,43 @@
+"""Tests for the paper-claim validator (cheap subset)."""
+
+import pytest
+
+from repro.bench.validate import CLAIMS, run_validation
+
+
+def test_claims_have_unique_ids_and_sources():
+    ids = [c.claim_id for c in CLAIMS]
+    assert len(ids) == len(set(ids))
+    assert all(c.source and c.statement for c in CLAIMS)
+
+
+def test_claim_selection():
+    report = run_validation(claim_ids=["dmamin-formula"])
+    assert len(report.results) == 1
+    assert report.results[0].claim.claim_id == "dmamin-formula"
+    assert report.results[0].passed
+
+
+def test_fast_claim_subset_passes():
+    report = run_validation(
+        claim_ids=[
+            "dmamin-formula",
+            "fig5-knem-factor",
+            "fig6-kthread-competition",
+        ]
+    )
+    assert report.all_passed, report.format()
+    assert report.passed == 3
+
+
+def test_report_format_readable():
+    report = run_validation(claim_ids=["dmamin-formula"])
+    text = report.format()
+    assert "PASS" in text and "dmamin-formula" in text
+    assert "1 passed, 0 failed" in text
+
+
+@pytest.mark.slow
+def test_all_claims_pass():
+    report = run_validation()
+    assert report.all_passed, report.format()

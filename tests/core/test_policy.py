@@ -1,0 +1,119 @@
+"""Tests for LMT strategy and threshold selection."""
+
+import pytest
+
+from repro.core.policy import ADAPTIVE_EAGER, LmtConfig, LmtPolicy, MODES, make_policy
+from repro.errors import LmtError
+from repro.hw import xeon_e5345, xeon_x5460
+from repro.units import KiB, MiB
+
+TOPO = xeon_e5345()
+
+
+def policy(mode="default", **kw):
+    return LmtPolicy(TOPO, LmtConfig(mode=mode, **kw))
+
+
+def test_unknown_mode_rejected():
+    with pytest.raises(LmtError):
+        LmtConfig(mode="teleport")
+
+
+def test_all_modes_construct_and_select():
+    for mode in MODES:
+        p = policy(mode)
+        backend = p.select(1 * MiB, 0, 1)
+        assert backend.name
+
+
+def test_default_mode_is_shm():
+    assert policy("default").select(1 * MiB, 0, 4).name == "shm"
+
+
+def test_fixed_modes_map_to_backends():
+    expect = {
+        "vmsplice": "vmsplice",
+        "vmsplice-writev": "vmsplice+writev",
+        "knem": "knem",
+        "knem-async": "knem+async",
+        "knem-ioat": "knem+ioat",
+        "knem-ioat-async": "knem+ioat+async",
+    }
+    for mode, name in expect.items():
+        assert policy(mode).select(1 * MiB, 0, 4).name == name
+
+
+def test_vmsplice_dynamic_follows_locality():
+    """Sec. 4.1: enable vmsplice only when no cache is shared."""
+    p = policy("vmsplice-dynamic")
+    assert p.select(1 * MiB, 0, 1).name == "shm"        # shared L2
+    assert p.select(1 * MiB, 0, 4).name == "vmsplice"   # different sockets
+    assert p.select(1 * MiB, 0, 2).name == "vmsplice"   # same socket, diff die
+
+
+def test_knem_auto_applies_dmamin():
+    """4 MiB L2 shared by 2 -> 1 MiB threshold; unshared -> 2 MiB."""
+    p = policy("knem-auto")
+    # Two processes share the receiver's cache.
+    assert p.select(1 * MiB - 1, 0, 1, cache_sharers=2).name == "knem"
+    assert p.select(1 * MiB, 0, 1, cache_sharers=2).name == "knem+ioat+async"
+    # Receiver's cache used by one process only.
+    assert p.select(1 * MiB, 0, 4, cache_sharers=1).name == "knem"
+    assert p.select(2 * MiB, 0, 4, cache_sharers=1).name == "knem+ioat+async"
+
+
+def test_ioat_async_by_default_only_with_ioat():
+    """End of Sec. 4.3: asynchronous mode is enabled by default only
+    when I/OAT is used."""
+    p = policy("knem-auto")
+    small = p.select(512 * KiB, 0, 1, cache_sharers=2)
+    large = p.select(2 * MiB, 0, 1, cache_sharers=2)
+    assert small.name == "knem" and not small.async_mode
+    assert large.ioat and large.async_mode
+
+
+def test_collective_hint_lowers_threshold():
+    """Sec. 4.4: with 7 concurrent transfers, I/OAT pays off near
+    1 MiB / 7 ~ 146 KiB instead of 1 MiB."""
+    p = policy("adaptive")
+    assert p.select(256 * KiB, 0, 1, cache_sharers=2, hint=1).name == "knem"
+    assert (
+        p.select(256 * KiB, 0, 1, cache_sharers=2, hint=7).name
+        == "knem+ioat+async"
+    )
+
+
+def test_hint_can_be_disabled():
+    p = policy("adaptive", use_collective_hint=False)
+    assert p.select(256 * KiB, 0, 1, cache_sharers=2, hint=7).name == "knem"
+
+
+def test_explicit_ioat_threshold_override():
+    p = policy("knem-auto", ioat_threshold=128 * KiB)
+    assert p.select(128 * KiB, 0, 1, cache_sharers=2).name == "knem+ioat+async"
+    assert p.select(64 * KiB, 0, 1, cache_sharers=2).name == "knem"
+
+
+def test_eager_threshold_defaults():
+    assert policy("default").eager_threshold == 64 * KiB
+    assert policy("adaptive").eager_threshold == ADAPTIVE_EAGER
+    assert policy("default", eager_threshold=8 * KiB).eager_threshold == 8 * KiB
+
+
+def test_x5460_threshold_50_percent_higher():
+    """Sec. 3.5: 6 MiB caches raise the threshold by 50%."""
+    p46 = LmtPolicy(xeon_x5460(), LmtConfig(mode="knem-auto"))
+    p45 = policy("knem-auto")
+    assert p46.dmamin(0, 2) == int(p45.dmamin(0, 2) * 1.5)
+
+
+def test_backend_lookup_by_name():
+    p = policy("knem")
+    assert p.backend("knem+ioat").ioat
+    with pytest.raises(LmtError):
+        p.backend("nonsense")
+
+
+def test_make_policy_helper():
+    p = make_policy(TOPO, "knem")
+    assert p.select(1 * MiB, 0, 4).name == "knem"

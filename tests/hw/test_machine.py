@@ -1,0 +1,65 @@
+"""Tests for the runtime Machine container."""
+
+import pytest
+
+from repro.errors import HardwareError
+from repro.hw import Machine, xeon_e5345
+from repro.sim import Engine
+from repro.units import CACHE_LINE, PAGE_SIZE
+
+
+@pytest.fixture()
+def machine():
+    eng = Engine()
+    return Machine(eng, xeon_e5345())
+
+
+def test_machine_builds_all_resources(machine):
+    assert len(machine.cores) == 8
+    assert len(machine.caches) == 4
+    assert machine.caches[0].capacity == 4 * 1024 * 1024 // CACHE_LINE
+
+
+def test_alloc_phys_is_page_aligned_and_disjoint(machine):
+    a = machine.alloc_phys(1000)
+    b = machine.alloc_phys(1000)
+    assert a % PAGE_SIZE == 0
+    assert b % PAGE_SIZE == 0
+    assert b >= a + 1000
+
+
+def test_alloc_phys_custom_alignment(machine):
+    a = machine.alloc_phys(100, align=CACHE_LINE)
+    assert a % CACHE_LINE == 0
+
+
+def test_alloc_phys_rejects_nonpositive(machine):
+    with pytest.raises(HardwareError):
+        machine.alloc_phys(0)
+
+
+def test_line_span(machine):
+    assert Machine.line_span(0, 64) == (0, 1)
+    assert Machine.line_span(0, 65) == (0, 2)
+    assert Machine.line_span(64, 64) == (1, 2)
+    assert Machine.line_span(10, 1) == (0, 1)
+    assert Machine.line_span(0, 0) == (0, 0)
+
+
+def test_cache_of_core_follows_topology(machine):
+    assert machine.cache_of_core(0) is machine.caches[0]
+    assert machine.cache_of_core(1) is machine.caches[0]
+    assert machine.cache_of_core(4) is machine.caches[2]
+
+
+def test_memory_bus_shared_between_streams(machine):
+    eng = machine.engine
+    ends = []
+
+    def xfer():
+        yield machine.memory.dram_transfer(machine.params.dram_bus_rate / 4)
+        ends.append(eng.now)
+
+    eng.run_processes([xfer, xfer])
+    # Two quarter-second (alone) transfers sharing the bus: 0.5s each.
+    assert all(t == pytest.approx(0.5) for t in ends)

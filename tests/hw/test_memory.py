@@ -1,0 +1,72 @@
+"""Tests for the memory-system bandwidth model."""
+
+import pytest
+
+from repro.hw.memory import MemorySystem
+from repro.hw.params import HwParams
+from repro.sim import Engine
+
+
+@pytest.fixture()
+def memory():
+    eng = Engine()
+    return eng, MemorySystem(eng, HwParams())
+
+
+def test_dram_transfer_time(memory):
+    eng, mem = memory
+    nbytes = mem.params.dram_bus_rate / 2  # half a second worth
+
+    def proc():
+        yield mem.dram_transfer(nbytes)
+        return eng.now
+
+    assert eng.run_processes([proc()]) == [pytest.approx(0.5)]
+
+
+def test_concurrent_transfers_share_bandwidth(memory):
+    eng, mem = memory
+    nbytes = mem.params.dram_bus_rate / 4
+
+    def proc():
+        yield mem.dram_transfer(nbytes)
+        return eng.now
+
+    results = eng.run_processes([proc(), proc()])
+    assert all(t == pytest.approx(0.5) for t in results)
+
+
+def test_fsb_independent_of_dram(memory):
+    eng, mem = memory
+
+    def dram():
+        yield mem.dram_transfer(mem.params.dram_bus_rate)  # 1s alone
+        return eng.now
+
+    def fsb():
+        yield mem.fsb_transfer(mem.params.fsb_rate)  # 1s alone
+        return eng.now
+
+    results = eng.run_processes([dram(), fsb()])
+    # No cross-resource contention: both finish at 1s.
+    assert all(t == pytest.approx(1.0) for t in results)
+
+
+def test_writebacks_background_but_consume_bandwidth(memory):
+    eng, mem = memory
+    mem.charge_writebacks(mem.params.dram_bus_rate / 2)
+    assert mem.background_bytes == mem.params.dram_bus_rate / 2
+
+    def foreground():
+        yield mem.dram_transfer(mem.params.dram_bus_rate / 2)
+        return eng.now
+
+    # Foreground shares with the writeback drain: slower than alone.
+    (t,) = eng.run_processes([foreground()])
+    assert t > 0.5
+
+
+def test_zero_writebacks_noop(memory):
+    _, mem = memory
+    mem.charge_writebacks(0)
+    assert mem.background_bytes == 0

@@ -1,0 +1,14 @@
+import pytest
+
+from repro.hw import Machine, xeon_e5345
+from repro.sim import Engine
+
+
+@pytest.fixture()
+def engine():
+    return Engine()
+
+
+@pytest.fixture()
+def machine(engine):
+    return Machine(engine, xeon_e5345())

@@ -1,0 +1,95 @@
+"""Tests for address spaces, buffers and views."""
+
+import numpy as np
+import pytest
+
+from repro.errors import BadAddressError, KernelError
+from repro.kernel.address_space import AddressSpace, alloc_shared, total_bytes
+from repro.units import PAGE_SIZE
+
+
+def test_alloc_gives_distinct_physical_ranges(machine):
+    sp = AddressSpace(machine, pid=0)
+    a = sp.alloc(1000)
+    b = sp.alloc(1000)
+    assert a.phys != b.phys
+    assert abs(a.phys - b.phys) >= 1000
+    assert a.page_aligned and b.page_aligned
+
+
+def test_alloc_rejects_nonpositive(machine):
+    sp = AddressSpace(machine, pid=0)
+    with pytest.raises(KernelError):
+        sp.alloc(0)
+
+
+def test_buffer_data_is_real_and_zeroed(machine):
+    sp = AddressSpace(machine, pid=0)
+    buf = sp.alloc(64)
+    assert buf.data.shape == (64,)
+    assert not buf.data.any()
+    buf.data[:] = 7
+    assert buf.view(10, 4).array.tolist() == [7, 7, 7, 7]
+
+
+def test_view_bounds_checked(machine):
+    sp = AddressSpace(machine, pid=0)
+    buf = sp.alloc(100)
+    with pytest.raises(BadAddressError):
+        buf.view(90, 20)
+    with pytest.raises(BadAddressError):
+        buf.view(0, 100).sub(50, 60)
+
+
+def test_view_phys_and_sub(machine):
+    sp = AddressSpace(machine, pid=0)
+    buf = sp.alloc(1000)
+    v = buf.view(100, 200)
+    assert v.phys == buf.phys + 100
+    s = v.sub(50, 10)
+    assert s.phys == buf.phys + 150
+    assert s.nbytes == 10
+
+
+def test_npages(machine):
+    sp = AddressSpace(machine, pid=0)
+    buf = sp.alloc(PAGE_SIZE * 2 + 1)
+    assert buf.npages == 3
+    assert buf.view(0, 1).npages == 1
+    assert buf.view(PAGE_SIZE - 1, 2).npages == 2
+
+
+def test_pin_unpin(machine):
+    sp = AddressSpace(machine, pid=0)
+    buf = sp.alloc(PAGE_SIZE * 4)
+    assert not buf.pinned
+    assert buf.pin() == 4
+    assert buf.pinned
+    buf.unpin()
+    assert not buf.pinned
+    with pytest.raises(KernelError):
+        buf.unpin()
+
+
+def test_shared_buffer_mappable(machine):
+    shm = alloc_shared(machine, 4096, name="ring")
+    sp = AddressSpace(machine, pid=0)
+    mapped = sp.map_shared(shm)
+    assert mapped is shm
+    private = sp.alloc(64)
+    with pytest.raises(KernelError):
+        sp.map_shared(private)
+
+
+def test_total_bytes(machine):
+    sp = AddressSpace(machine, pid=0)
+    buf = sp.alloc(100)
+    assert total_bytes([buf.view(0, 40), buf.view(40, 25)]) == 65
+
+
+def test_data_isolation_between_buffers(machine):
+    sp = AddressSpace(machine, pid=0)
+    a, b = sp.alloc(64), sp.alloc(64)
+    a.data[:] = 1
+    assert not b.data.any()
+    assert np.sum(a.data) == 64

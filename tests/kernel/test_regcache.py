@@ -1,0 +1,107 @@
+"""Tests for the pin-registration cache."""
+
+import pytest
+
+from repro.hw import xeon_e5345
+from repro.kernel.address_space import AddressSpace
+from repro.kernel.regcache import RegistrationCache
+from repro import LmtConfig
+from repro.mpi import run_mpi
+from repro.units import KiB, MiB
+
+TOPO = xeon_e5345()
+
+
+@pytest.fixture()
+def view_factory(machine):
+    space = AddressSpace(machine, 0)
+
+    def make(nbytes=16 * KiB):
+        return space.alloc(nbytes).view()
+
+    return make
+
+
+def test_bad_capacity():
+    with pytest.raises(ValueError):
+        RegistrationCache(0)
+
+
+def test_miss_then_hit(view_factory):
+    rc = RegistrationCache()
+    v = view_factory()
+    assert rc.lookup_pages_to_pin([v]) == v.npages  # miss: pin all
+    assert rc.lookup_pages_to_pin([v]) == 0         # hit: nothing to pin
+    assert rc.hits == 1 and rc.misses == 1
+    assert rc.hit_rate == 0.5
+
+
+def test_different_ranges_are_different_entries(view_factory):
+    rc = RegistrationCache()
+    v = view_factory(64 * KiB)
+    a = v.sub(0, 16 * KiB)
+    b = v.sub(16 * KiB, 16 * KiB)
+    assert rc.lookup_pages_to_pin([a]) > 0
+    assert rc.lookup_pages_to_pin([b]) > 0  # disjoint range: miss
+    assert rc.entries == 2
+
+
+def test_lru_eviction(view_factory):
+    rc = RegistrationCache(capacity=2)
+    v1, v2, v3 = view_factory(), view_factory(), view_factory()
+    rc.lookup_pages_to_pin([v1])
+    rc.lookup_pages_to_pin([v2])
+    rc.lookup_pages_to_pin([v1])  # refresh v1
+    rc.lookup_pages_to_pin([v3])  # evicts v2 (LRU)
+    assert rc.evictions == 1
+    assert rc.lookup_pages_to_pin([v1]) == 0        # still cached
+    assert rc.lookup_pages_to_pin([v2]) == v2.npages  # was evicted
+
+
+def test_invalidate(view_factory):
+    rc = RegistrationCache()
+    v = view_factory()
+    rc.lookup_pages_to_pin([v])
+    assert rc.invalidate(v)
+    assert not rc.invalidate(v)
+    assert rc.lookup_pages_to_pin([v]) == v.npages
+
+
+def test_knem_pingpong_pins_once_with_cache():
+    """With the registration cache, repeated pingpong over the same
+    buffers pins each page exactly once."""
+    nbytes = 512 * KiB
+    reps = 4
+
+    def main(ctx):
+        comm = ctx.comm
+        buf = ctx.alloc(nbytes)
+        peer = 1 - ctx.rank
+        for rep in range(reps):
+            if ctx.rank == 0:
+                yield comm.Send(buf, dest=peer, tag=rep)
+                yield comm.Recv(buf, source=peer, tag=rep)
+            else:
+                yield comm.Recv(buf, source=peer, tag=rep)
+                yield comm.Send(buf, dest=peer, tag=rep)
+
+    pages_per_buf = nbytes // 4096
+    plain = run_mpi(TOPO, 2, main, bindings=[0, 4], mode="knem")
+    cached = run_mpi(
+        TOPO, 2, main, bindings=[0, 4],
+        config=LmtConfig(mode="knem", knem_reg_cache=True),
+    )
+    assert plain.papi.total("PAGES_PINNED") == 2 * reps * pages_per_buf
+    assert cached.papi.total("PAGES_PINNED") == 2 * pages_per_buf
+    assert cached.world.knem.reg_cache.hit_rate > 0.7
+
+
+def test_reg_cache_improves_medium_knem_throughput():
+    from repro.bench.imb import imb_pingpong
+
+    plain = imb_pingpong(TOPO, 128 * KiB, mode="knem", bindings=(0, 4))
+    cached = imb_pingpong(
+        TOPO, 128 * KiB, mode="knem", bindings=(0, 4),
+        config=LmtConfig(mode="knem", knem_reg_cache=True),
+    )
+    assert cached.throughput_mib > plain.throughput_mib

@@ -1,0 +1,70 @@
+"""Tests for placement policies and the locality they create."""
+
+import pytest
+
+from repro.bench.imb import imb_pingpong
+from repro.errors import MpiError
+from repro.hw import nehalem8, xeon_e5345
+from repro.mpi.affinity import bindings_for, placement_summary
+from repro.units import MiB
+
+TOPO = xeon_e5345()
+
+
+def test_compact_fills_pairs_first():
+    b = bindings_for(TOPO, 4, "compact")
+    assert b == [0, 1, 2, 3]
+    assert TOPO.shares_cache(b[0], b[1])
+
+
+def test_spread_separates_neighbours():
+    b = bindings_for(TOPO, 4, "spread")
+    assert len(set(TOPO.die_of(c) for c in b)) == 4  # one rank per die
+    assert not TOPO.shares_cache(b[0], b[1])
+
+
+def test_spread_wraps_to_second_core_per_die():
+    b = bindings_for(TOPO, 8, "spread")
+    assert sorted(b) == list(range(8))
+    # First four land on distinct dies.
+    assert len(set(TOPO.die_of(c) for c in b[:4])) == 4
+
+
+def test_bad_policy_and_counts_rejected():
+    with pytest.raises(MpiError):
+        bindings_for(TOPO, 2, "diagonal")
+    with pytest.raises(MpiError):
+        bindings_for(TOPO, 99, "compact")
+
+
+def test_placement_summary_counts():
+    compact = placement_summary(TOPO, bindings_for(TOPO, 4, "compact"))
+    spread = placement_summary(TOPO, bindings_for(TOPO, 4, "spread"))
+    assert compact["pairs_sharing_cache"] == 2  # (0,1) and (2,3)
+    assert spread["pairs_sharing_cache"] == 0
+    assert compact["max_sharers"] == 2
+    assert spread["max_sharers"] == 1
+
+
+def test_summary_feeds_dmamin():
+    """The per-cache process counts are the DMAmin denominators."""
+    summary = placement_summary(TOPO, bindings_for(TOPO, 8, "compact"))
+    assert TOPO.dmamin_bytes(summary["max_sharers"]) == 1 * MiB
+
+
+def test_placement_changes_default_lmt_performance():
+    """Compact (shared-cache) placement makes the default LMT fast;
+    spread placement collapses it — the Figs. 4/5 regime split driven
+    purely by affinity."""
+    compact = bindings_for(TOPO, 2, "compact")
+    spread = bindings_for(TOPO, 2, "spread")
+    fast = imb_pingpong(TOPO, 1 * MiB, mode="default", bindings=compact)
+    slow = imb_pingpong(TOPO, 1 * MiB, mode="default", bindings=spread)
+    assert fast.throughput_mib > 3 * slow.throughput_mib
+
+
+def test_nehalem_every_policy_equivalent():
+    topo = nehalem8()
+    for policy in ("compact", "spread"):
+        summary = placement_summary(topo, bindings_for(topo, 8, policy))
+        assert summary["pairs_sharing_cache"] == 28  # every pair shares

@@ -1,0 +1,188 @@
+"""Correctness tests for each collective algorithm variant, forced
+directly (bypassing size-based selection)."""
+
+import numpy as np
+import pytest
+
+from repro.hw import xeon_e5345
+from repro.mpi import run_mpi
+from repro.mpi.coll.allgather import allgather_recursive_doubling, allgather_ring
+from repro.mpi.coll.alltoall import alltoall_bruck
+from repro.mpi.coll.bcast import bcast_binomial, bcast_scatter_allgather
+from repro.mpi.coll.reduce import (
+    allreduce_rabenseifner,
+    allreduce_recursive_doubling,
+)
+from repro.mpi.coll.tuning import CollTuning
+from repro.units import KiB
+
+TOPO = xeon_e5345()
+
+
+# ------------------------------------------------------------- bcast --
+@pytest.mark.parametrize("algo", [bcast_binomial, bcast_scatter_allgather])
+@pytest.mark.parametrize("nprocs", [4, 7, 8])
+@pytest.mark.parametrize("root", [0, 2])
+def test_bcast_algorithms(algo, nprocs, root):
+    nbytes = 96 * KiB + 13  # deliberately not divisible by p
+
+    def main(ctx):
+        buf = ctx.alloc(nbytes)
+        if ctx.rank == root:
+            buf.data[:] = (np.arange(nbytes) % 157).astype(np.uint8)
+        yield algo(ctx.comm, buf, root)
+        return int(np.sum(buf.data, dtype=np.int64))
+
+    r = run_mpi(TOPO, nprocs, main)
+    expected = int(np.sum((np.arange(nbytes) % 157).astype(np.uint8), dtype=np.int64))
+    assert all(res == expected for res in r.results)
+
+
+def test_bcast_selection_by_size():
+    """Small payloads take the tree; large take scatter+allgather.
+    Both must deliver; we check via tuning override that selection
+    actually switches (scatter+allgather sends p-1 extra ring messages)."""
+
+    def main(ctx):
+        buf = ctx.alloc(64 * KiB)
+        if ctx.rank == 0:
+            buf.data[:] = 3
+        yield ctx.comm.Bcast(buf, root=0)
+        return int(buf.data[0])
+
+    low = run_mpi(TOPO, 8, main, coll_tuning=CollTuning(bcast_long_min=1))
+    high = run_mpi(TOPO, 8, main, coll_tuning=CollTuning(bcast_long_min=1 << 30))
+    assert low.results == high.results == [3] * 8
+    # The long algorithm exchanges more (smaller) messages in total.
+    msgs_low = sum(ep.eager_received + ep.rndv_received for ep in low.world.endpoints)
+    msgs_high = sum(ep.eager_received + ep.rndv_received for ep in high.world.endpoints)
+    assert msgs_low > msgs_high
+
+
+# --------------------------------------------------------- allgather --
+@pytest.mark.parametrize("algo", [allgather_ring, allgather_recursive_doubling])
+def test_allgather_algorithms(algo):
+    block = 8 * KiB
+
+    def main(ctx):
+        p = ctx.comm.size
+        send = ctx.alloc(block)
+        send.data[:] = 50 + ctx.rank
+        recv = ctx.alloc(block * p)
+        yield algo(ctx.comm, send, recv)
+        return [int(recv.data[i * block]) for i in range(p)]
+
+    r = run_mpi(TOPO, 8, main)
+    assert all(res == [50 + k for k in range(8)] for res in r.results)
+
+
+def test_allgather_rd_falls_back_for_non_pow2():
+    block = 4 * KiB
+
+    def main(ctx):
+        p = ctx.comm.size
+        send, recv = ctx.alloc(block), ctx.alloc(block * p)
+        send.data[:] = ctx.rank + 1
+        yield allgather_recursive_doubling(ctx.comm, send, recv)
+        return [int(recv.data[i * block]) for i in range(p)]
+
+    r = run_mpi(TOPO, 6, main)
+    assert all(res == [1, 2, 3, 4, 5, 6] for res in r.results)
+
+
+# --------------------------------------------------------- allreduce --
+@pytest.mark.parametrize(
+    "algo", [allreduce_recursive_doubling, allreduce_rabenseifner]
+)
+@pytest.mark.parametrize("nbytes", [1 * KiB, 64 * KiB + 24])
+def test_allreduce_algorithms(algo, nbytes):
+    def main(ctx):
+        send, recv = ctx.alloc(nbytes), ctx.alloc(nbytes)
+        send.data[:] = ctx.rank + 1
+        yield algo(ctx.comm, send, recv)
+        return int(recv.data[0]), int(recv.data[-1])
+
+    r = run_mpi(TOPO, 8, main)
+    total = sum(k + 1 for k in range(8))
+    assert all(res == (total, total) for res in r.results)
+
+
+def test_allreduce_rabenseifner_nondivisible_sizes():
+    """Block boundaries with nbytes % p != 0 must still cover every
+    byte exactly once."""
+    nbytes = 10 * KiB + 7
+
+    def main(ctx):
+        send, recv = ctx.alloc(nbytes), ctx.alloc(nbytes)
+        send.data[:] = (np.arange(nbytes) % 11 + ctx.rank).astype(np.uint8)
+        yield allreduce_rabenseifner(ctx.comm, send, recv)
+        return recv.data.copy()
+
+    r = run_mpi(TOPO, 4, main)
+    base = np.arange(nbytes) % 11
+    expected = sum((base + k).astype(np.uint8).astype(np.int64) for k in range(4))
+    expected = (expected % 256).astype(np.uint8)
+    for res in r.results:
+        assert np.array_equal(res, expected)
+
+
+def test_allreduce_custom_op_and_dtype():
+    def op_max(acc, incoming):
+        np.maximum(acc, incoming, out=acc)
+
+    def main(ctx):
+        send, recv = ctx.alloc(64), ctx.alloc(64)
+        send.data.view(np.uint32)[:] = ctx.rank * 10
+        yield ctx.comm.Allreduce(send, recv, op=op_max, dtype=np.uint32)
+        return int(recv.data.view(np.uint32)[0])
+
+    r = run_mpi(TOPO, 4, main)
+    assert r.results == [30, 30, 30, 30]
+
+
+def test_allreduce_selection_non_pow2_falls_back():
+    def main(ctx):
+        send, recv = ctx.alloc(4 * KiB), ctx.alloc(4 * KiB)
+        send.data[:] = 1
+        yield ctx.comm.Allreduce(send, recv)
+        return int(recv.data[0])
+
+    r = run_mpi(TOPO, 5, main)
+    assert r.results == [5] * 5
+
+
+# ------------------------------------------------------------ bruck --
+@pytest.mark.parametrize("nprocs", [4, 5, 8])
+def test_alltoall_bruck_correctness(nprocs):
+    block = 256
+
+    def main(ctx):
+        p = ctx.comm.size
+        send, recv = ctx.alloc(block * p), ctx.alloc(block * p)
+        for j in range(p):
+            send.data[j * block : (j + 1) * block] = (ctx.rank * p + j) % 251
+        yield alltoall_bruck(ctx.comm, send, recv)
+        return [int(recv.data[j * block]) for j in range(p)]
+
+    r = run_mpi(TOPO, nprocs, main)
+    for rank, got in enumerate(r.results):
+        assert got == [(j * nprocs + rank) % 251 for j in range(nprocs)], rank
+
+
+def test_alltoall_selection_uses_bruck_for_tiny():
+    """With a tuned-up Bruck ceiling, tiny alltoalls send far fewer
+    messages (log p rounds instead of p-1 per rank)."""
+    block = 512
+
+    def main(ctx):
+        p = ctx.comm.size
+        send, recv = ctx.alloc(block * p), ctx.alloc(block * p)
+        send.data[:] = ctx.rank
+        yield ctx.comm.Alltoall(send, recv)
+        return None
+
+    bruck = run_mpi(TOPO, 8, main, coll_tuning=CollTuning(alltoall_bruck_max=1024))
+    scattered = run_mpi(TOPO, 8, main, coll_tuning=CollTuning(alltoall_bruck_max=0))
+    n_bruck = sum(ep.eager_received for ep in bruck.world.endpoints)
+    n_scattered = sum(ep.eager_received for ep in scattered.world.endpoints)
+    assert n_bruck < n_scattered

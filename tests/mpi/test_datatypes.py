@@ -1,0 +1,133 @@
+"""Tests for MPI datatypes and iovec expansion."""
+
+import pytest
+
+from repro.errors import DatatypeError
+from repro.hw import Machine, xeon_e5345
+from repro.kernel.address_space import AddressSpace
+from repro.mpi.datatypes import BYTE, Contiguous, Indexed, Vector, as_views
+from repro.sim import Engine
+
+
+@pytest.fixture()
+def buf():
+    machine = Machine(Engine(), xeon_e5345())
+    return AddressSpace(machine, 0).alloc(4096)
+
+
+def test_contiguous_iovec(buf):
+    t = Contiguous(100)
+    views = t.iovec(buf, offset=10)
+    assert len(views) == 1
+    assert views[0].offset == 10 and views[0].nbytes == 100
+
+
+def test_contiguous_count(buf):
+    views = Contiguous(100).iovec(buf, count=3)
+    assert len(views) == 1 and views[0].nbytes == 300
+
+
+def test_byte_alias(buf):
+    assert BYTE.size == 1
+    assert BYTE.iovec(buf, count=64)[0].nbytes == 64
+
+
+def test_contiguous_rejects_bad(buf):
+    with pytest.raises(DatatypeError):
+        Contiguous(0)
+    with pytest.raises(DatatypeError):
+        Contiguous(8).iovec(buf, count=0)
+
+
+def test_vector_layout(buf):
+    t = Vector(count=3, blocklen=8, stride=32)
+    assert t.size == 24
+    assert t.extent == 2 * 32 + 8
+    views = t.iovec(buf)
+    assert [(v.offset, v.nbytes) for v in views] == [(0, 8), (32, 8), (64, 8)]
+
+
+def test_vector_dense_coalesces(buf):
+    t = Vector(count=4, blocklen=16, stride=16)  # actually contiguous
+    views = t.iovec(buf)
+    assert len(views) == 1 and views[0].nbytes == 64
+
+
+def test_vector_count_repeats_extent(buf):
+    t = Vector(count=2, blocklen=4, stride=8)
+    views = t.iovec(buf, count=2)
+    # Second repetition starts at extent=12; the block at 8 and the one
+    # at 12 are adjacent and get coalesced.
+    assert [(v.offset, v.nbytes) for v in views] == [(0, 4), (8, 8), (20, 4)]
+    assert sum(v.nbytes for v in views) == 2 * t.size
+
+
+def test_vector_rejects_bad():
+    with pytest.raises(DatatypeError):
+        Vector(0, 8, 16)
+    with pytest.raises(DatatypeError):
+        Vector(2, 16, 8)  # stride < blocklen
+
+
+def test_indexed_layout(buf):
+    t = Indexed([(0, 10), (100, 20), (50, 5)])
+    assert t.size == 35
+    assert t.extent == 120
+    views = t.iovec(buf)
+    assert [(v.offset, v.nbytes) for v in views] == [(0, 10), (100, 20), (50, 5)]
+
+
+def test_indexed_rejects_bad():
+    with pytest.raises(DatatypeError):
+        Indexed([])
+    with pytest.raises(DatatypeError):
+        Indexed([(-1, 4)])
+    with pytest.raises(DatatypeError):
+        Indexed([(0, 0)])
+
+
+def test_as_views_accepts_buffer_view_list(buf):
+    assert as_views(buf)[0].nbytes == 4096
+    v = buf.view(0, 10)
+    assert as_views(v) == [v]
+    assert as_views([v, buf.view(10, 5)])[1].nbytes == 5
+
+
+def test_as_views_rejects_junk(buf):
+    with pytest.raises(DatatypeError):
+        as_views("hello")
+    with pytest.raises(DatatypeError):
+        as_views([])
+    with pytest.raises(DatatypeError):
+        as_views([buf, buf])  # buffers inside a list are not views
+
+
+def test_pack_unpack_roundtrip(buf):
+    import numpy as np
+
+    from repro.mpi.datatypes import pack, unpack
+
+    t = Vector(count=5, blocklen=16, stride=40)
+    views = t.iovec(buf, offset=8)
+    for i, v in enumerate(views):
+        v.array[:] = i + 1
+    flat = pack(views)
+    assert flat.nbytes == t.size
+    # Clear and restore through unpack.
+    for v in views:
+        v.array[:] = 0
+    consumed = unpack(flat, views)
+    assert consumed == t.size
+    assert all(np.all(v.array == i + 1) for i, v in enumerate(views))
+
+
+def test_pack_empty_and_short_unpack(buf):
+    import numpy as np
+
+    from repro.mpi.datatypes import pack, unpack
+
+    assert pack([]).nbytes == 0
+    views = [buf.view(0, 10), buf.view(20, 10)]
+    consumed = unpack(np.full(5, 9, dtype=np.uint8), views)
+    assert consumed == 5
+    assert buf.view(0, 5).array.tolist() == [9] * 5

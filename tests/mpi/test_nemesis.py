@@ -1,0 +1,102 @@
+"""Unit tests for the Nemesis endpoint internals."""
+
+import pytest
+
+from repro.errors import MpiError
+from repro.hw import Machine, xeon_e5345
+from repro.mpi.nemesis import (
+    CtsPacket,
+    DonePacket,
+    EagerPacket,
+    Endpoint,
+    RtsPacket,
+)
+from repro.sim import Engine
+
+
+class _FakeWorld:
+    def __init__(self):
+        self.engine = Engine()
+        self.machine = Machine(self.engine, xeon_e5345())
+
+
+@pytest.fixture()
+def endpoint():
+    return Endpoint(_FakeWorld(), rank=0, ncells=2)
+
+
+def _eager(src=1, tag=5, nbytes=0):
+    return EagerPacket(src=src, tag=tag, nbytes=nbytes, cell=None)
+
+
+def test_posted_then_arrival_matches(endpoint):
+    posted = endpoint.post_recv(source=1, tag=5)
+    assert not posted.event.triggered
+    endpoint.dispatch(_eager())
+    assert posted.event.triggered
+    assert posted.event.value.src == 1
+
+
+def test_arrival_then_post_matches_unexpected(endpoint):
+    endpoint.dispatch(_eager())
+    assert endpoint.pending_unexpected == 1
+    posted = endpoint.post_recv(source=1, tag=5)
+    assert posted.event.triggered
+    assert endpoint.pending_unexpected == 0
+
+
+def test_wildcard_matching(endpoint):
+    endpoint.dispatch(_eager(src=3, tag=9))
+    assert endpoint.post_recv(source=-1, tag=-1).event.triggered
+
+
+def test_non_matching_stays_queued(endpoint):
+    endpoint.dispatch(_eager(src=1, tag=5))
+    posted = endpoint.post_recv(source=1, tag=6)
+    assert not posted.event.triggered
+    assert endpoint.pending_unexpected == 1
+    assert endpoint.pending_posted == 1
+
+
+def test_unexpected_fifo_order(endpoint):
+    endpoint.dispatch(_eager(tag=5, nbytes=1))
+    endpoint.dispatch(_eager(tag=5, nbytes=2))
+    first = endpoint.post_recv(source=1, tag=5)
+    assert first.event.value.nbytes == 1
+
+
+def test_rts_matches_like_eager(endpoint):
+    endpoint.dispatch(
+        RtsPacket(src=2, tag=7, nbytes=100, txn=1, backend="knem", info={})
+    )
+    posted = endpoint.post_recv(source=2, tag=7)
+    assert posted.event.value.backend == "knem"
+
+
+def test_txn_routing(endpoint):
+    waiters = endpoint.open_txn(42)
+    endpoint.dispatch(CtsPacket(txn=42, info={"k": 1}))
+    assert waiters["cts"].triggered and waiters["cts"].value == {"k": 1}
+    endpoint.dispatch(DonePacket(txn=42))
+    assert waiters["done"].triggered
+    endpoint.close_txn(42)
+
+
+def test_duplicate_txn_rejected(endpoint):
+    endpoint.open_txn(1)
+    with pytest.raises(MpiError):
+        endpoint.open_txn(1)
+
+
+def test_stray_txn_packet_rejected(endpoint):
+    with pytest.raises(MpiError):
+        endpoint.dispatch(CtsPacket(txn=99, info={}))
+
+
+def test_unknown_packet_rejected(endpoint):
+    with pytest.raises(MpiError):
+        endpoint.dispatch(object())
+
+
+def test_free_cells_preloaded(endpoint):
+    assert len(endpoint.free_cells) == 2

@@ -1,0 +1,69 @@
+"""Tests for persistent requests (MPI_Send_init / Recv_init / Start)."""
+
+import pytest
+
+from repro.errors import MpiError
+from repro.hw import xeon_e5345
+from repro.mpi import run_mpi
+from repro.mpi.request import Request
+from repro.units import KiB
+
+TOPO = xeon_e5345()
+
+
+def test_persistent_pingpong_restarts():
+    reps = 4
+
+    def main(ctx):
+        comm = ctx.comm
+        buf = ctx.alloc(128 * KiB)
+        peer = 1 - ctx.rank
+        if ctx.rank == 0:
+            sreq = comm.Send_init(buf, dest=peer, tag=9)
+            rreq = comm.Recv_init(buf, source=peer, tag=9)
+        else:
+            rreq = comm.Recv_init(buf, source=peer, tag=9)
+            sreq = comm.Send_init(buf, dest=peer, tag=9)
+        for _ in range(reps):
+            if ctx.rank == 0:
+                buf.data[:] = 77
+                sreq.Start()
+                yield from sreq.wait()
+                rreq.Start()
+                yield from rreq.wait()
+            else:
+                rreq.Start()
+                yield from rreq.wait()
+                sreq.Start()
+                yield from sreq.wait()
+        return sreq.starts, rreq.starts, int(buf.data[0])
+
+    r = run_mpi(TOPO, 2, main, mode="knem", bindings=[0, 4])
+    assert r.results[0] == (reps, reps, 77)
+    assert r.results[1] == (reps, reps, 77)
+
+
+def test_double_start_rejected():
+    def main(ctx):
+        comm = ctx.comm
+        buf = ctx.alloc(1 * KiB)
+        if ctx.rank == 0:
+            req = comm.Send_init(buf, dest=1)
+            req.Start()
+            with pytest.raises(MpiError):
+                req.Start()
+            yield from req.wait()
+        else:
+            yield comm.Recv(buf, source=0)
+
+    run_mpi(TOPO, 2, main)
+
+
+def test_wait_before_start_rejected():
+    def main(ctx):
+        req = ctx.comm.Recv_init(ctx.alloc(64), source=0)
+        with pytest.raises(MpiError):
+            req.wait()
+        yield ctx.compute(0)
+
+    run_mpi(TOPO, 1, main)

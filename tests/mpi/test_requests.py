@@ -1,0 +1,83 @@
+"""Tests for nonblocking requests and statuses."""
+
+import pytest
+
+from repro.hw import xeon_e5345
+from repro.mpi import run_mpi
+from repro.mpi.request import Request
+from repro.units import KiB
+
+TOPO = xeon_e5345()
+
+
+def test_request_test_polls_without_blocking():
+    def main(ctx):
+        comm = ctx.comm
+        buf = ctx.alloc(256 * KiB)
+        if ctx.rank == 0:
+            yield 0.001
+            yield comm.Send(buf, dest=1)
+            return None
+        req = comm.Irecv(buf, source=0)
+        polls = 0
+        while req.test() is None:
+            polls += 1
+            yield 1e-4
+        return polls, req.completed
+
+    r = run_mpi(TOPO, 2, main)
+    polls, completed = r.results[1]
+    assert polls > 0 and completed
+
+
+def test_waitall_empty_list():
+    def main(ctx):
+        statuses = yield from Request.waitall([])
+        return statuses
+
+    assert run_mpi(TOPO, 1, main).results == [[]]
+
+
+def test_waitall_returns_statuses_in_order():
+    def main(ctx):
+        comm = ctx.comm
+        bufs = [ctx.alloc(4 * KiB) for _ in range(3)]
+        if ctx.rank == 0:
+            reqs = [comm.Isend(b, dest=1, tag=i) for i, b in enumerate(bufs)]
+            yield from Request.waitall(reqs)
+            return None
+        reqs = [comm.Irecv(b, source=0, tag=i) for i, b in enumerate(bufs)]
+        statuses = yield from Request.waitall(reqs)
+        return [s.tag for s in statuses]
+
+    r = run_mpi(TOPO, 2, main)
+    assert r.results[1] == [0, 1, 2]
+
+
+def test_status_accessors():
+    def main(ctx):
+        comm = ctx.comm
+        buf = ctx.alloc(1 * KiB)
+        if ctx.rank == 0:
+            yield comm.Send(buf, dest=1, tag=42)
+            return None
+        st = yield comm.Recv(buf, source=0, tag=42)
+        return st.Get_source(), st.Get_tag(), st.Get_count()
+
+    r = run_mpi(TOPO, 2, main)
+    assert r.results[1] == (0, 42, 1 * KiB)
+
+
+def test_request_repr_shows_state():
+    def main(ctx):
+        comm = ctx.comm
+        buf = ctx.alloc(1 * KiB)
+        if ctx.rank == 0:
+            req = comm.Isend(buf, dest=1)
+            assert "pending" in repr(req) or "done" in repr(req)
+            yield from req.wait()
+            assert "done" in repr(req)
+            return None
+        yield comm.Recv(buf, source=0)
+
+    run_mpi(TOPO, 2, main)

@@ -1,0 +1,137 @@
+"""Tests for gatherv / scatterv / allgatherv / reduce_scatter_block."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MpiError
+from repro.hw import xeon_e5345
+from repro.mpi import run_mpi
+from repro.units import KiB
+
+TOPO = xeon_e5345()
+
+
+def _counts(p):
+    return [(r + 1) * KiB for r in range(p)]
+
+
+def test_gatherv_variable_contributions():
+    def main(ctx):
+        p = ctx.comm.size
+        counts = _counts(p)
+        send = ctx.alloc(counts[ctx.rank])
+        send.data[:] = ctx.rank + 10
+        recv = ctx.alloc(sum(counts)) if ctx.rank == 1 else None
+        yield ctx.comm.Gatherv(send, recv, counts, root=1)
+        if ctx.rank == 1:
+            offs = np.cumsum([0] + counts)
+            return [int(recv.data[offs[r]]) for r in range(p)]
+        return None
+
+    r = run_mpi(TOPO, 4, main)
+    assert r.results[1] == [10, 11, 12, 13]
+
+
+def test_scatterv_variable_distribution():
+    def main(ctx):
+        p = ctx.comm.size
+        counts = _counts(p)
+        recv = ctx.alloc(counts[ctx.rank])
+        send = None
+        if ctx.rank == 0:
+            send = ctx.alloc(sum(counts))
+            off = 0
+            for rnk, c in enumerate(counts):
+                send.data[off : off + c] = 40 + rnk
+                off += c
+        yield ctx.comm.Scatterv(send, recv, counts, root=0)
+        return int(recv.data[0]), recv.nbytes
+
+    r = run_mpi(TOPO, 4, main)
+    assert r.results == [(40, 1 * KiB), (41, 2 * KiB), (42, 3 * KiB), (43, 4 * KiB)]
+
+
+def test_allgatherv_everyone_gets_everything():
+    def main(ctx):
+        p = ctx.comm.size
+        counts = _counts(p)
+        send = ctx.alloc(counts[ctx.rank])
+        send.data[:] = ctx.rank + 1
+        recv = ctx.alloc(sum(counts))
+        yield ctx.comm.Allgatherv(send, recv, counts)
+        offs = np.cumsum([0] + counts)
+        return [int(recv.data[offs[r]]) for r in range(p)]
+
+    r = run_mpi(TOPO, 4, main)
+    assert all(res == [1, 2, 3, 4] for res in r.results)
+
+
+def test_allgatherv_zero_counts():
+    def main(ctx):
+        p = ctx.comm.size
+        counts = [2 * KiB if r % 2 == 0 else 0 for r in range(p)]
+        send = ctx.alloc(max(counts[ctx.rank], 1))
+        send.data[:] = ctx.rank + 1
+        recv = ctx.alloc(sum(counts))
+        yield ctx.comm.Allgatherv(
+            send.view(0, counts[ctx.rank]) if counts[ctx.rank] else send.view(0, 0),
+            recv,
+            counts,
+        )
+        return int(recv.data[0]), int(recv.data[2 * KiB])
+
+    r = run_mpi(TOPO, 4, main)
+    assert all(res == (1, 3) for res in r.results)
+
+
+def test_gatherv_count_mismatch_rejected():
+    def main(ctx):
+        send = ctx.alloc(64)
+        with pytest.raises(MpiError):
+            yield ctx.comm.Gatherv(send, None, [64], root=0)  # wrong len
+
+    run_mpi(TOPO, 2, main)
+
+
+@pytest.mark.parametrize("nprocs", [4, 8])
+def test_reduce_scatter_block_pow2(nprocs):
+    block = 4 * KiB
+
+    def main(ctx):
+        p = ctx.comm.size
+        send = ctx.alloc(block * p)
+        recv = ctx.alloc(block)
+        for j in range(p):
+            send.data[j * block : (j + 1) * block] = ctx.rank + j
+        yield ctx.comm.Reduce_scatter_block(send, recv)
+        return int(recv.data[0])
+
+    r = run_mpi(TOPO, nprocs, main)
+    # rank j receives sum over ranks r of (r + j)
+    base = sum(range(nprocs))
+    assert r.results == [(base + nprocs * j) % 256 for j in range(nprocs)]
+
+
+def test_reduce_scatter_block_non_pow2_fallback():
+    block = 2 * KiB
+
+    def main(ctx):
+        p = ctx.comm.size
+        send = ctx.alloc(block * p)
+        recv = ctx.alloc(block)
+        send.data[:] = 2
+        yield ctx.comm.Reduce_scatter_block(send, recv)
+        return int(recv.data[0])
+
+    r = run_mpi(TOPO, 3, main)
+    assert r.results == [6, 6, 6]
+
+
+def test_reduce_scatter_block_indivisible_rejected():
+    def main(ctx):
+        send = ctx.alloc(100)  # not divisible by 3
+        recv = ctx.alloc(64)
+        with pytest.raises(MpiError):
+            yield ctx.comm.Reduce_scatter_block(send, recv)
+
+    run_mpi(TOPO, 3, main)

@@ -1,0 +1,152 @@
+"""Tests for the MPI world launcher and rank contexts."""
+
+import pytest
+
+from repro.core.policy import LmtConfig
+from repro.errors import MpiError
+from repro.hw import xeon_e5345
+from repro.mpi import run_mpi
+from repro.mpi.world import MpiWorld
+from repro.units import KiB, MiB
+
+TOPO = xeon_e5345()
+
+
+def test_results_in_rank_order():
+    def main(ctx):
+        yield ctx.compute(0.001 * (8 - ctx.rank))  # finish out of order
+        return ctx.rank * 10
+
+    r = run_mpi(TOPO, 4, main)
+    assert r.results == [0, 10, 20, 30]
+
+
+def test_default_bindings_are_first_cores():
+    def main(ctx):
+        return ctx.core
+        yield
+
+    r = run_mpi(TOPO, 3, main)
+    assert r.results == [0, 1, 2]
+
+
+def test_custom_bindings():
+    def main(ctx):
+        return ctx.core
+        yield
+
+    r = run_mpi(TOPO, 2, main, bindings=[6, 2])
+    assert r.results == [6, 2]
+
+
+def test_bad_bindings_rejected():
+    def main(ctx):
+        yield ctx.compute(0)
+
+    with pytest.raises(MpiError):
+        run_mpi(TOPO, 2, main, bindings=[0])  # wrong length
+    with pytest.raises(MpiError):
+        run_mpi(TOPO, 2, main, bindings=[0, 99])  # out of range
+    with pytest.raises(MpiError):
+        run_mpi(TOPO, 0, main)
+
+
+def test_cache_sharers_counts_coresident_ranks():
+    def main(ctx):
+        yield ctx.compute(0)
+
+    r = run_mpi(TOPO, 4, main, bindings=[0, 1, 4, 6])
+    world = r.world
+    assert world.cache_sharers(0) == 2  # ranks 0,1 share die 0
+    assert world.cache_sharers(2) == 1  # rank on core 4 alone on die 2
+
+
+def test_compute_advances_clock():
+    def main(ctx):
+        yield ctx.compute(0.5)
+        return ctx.now
+
+    r = run_mpi(TOPO, 1, main)
+    assert r.results[0] == pytest.approx(0.5)
+    assert r.elapsed == pytest.approx(0.5)
+
+
+def test_touch_charges_cache_and_counters():
+    def main(ctx):
+        buf = ctx.alloc(256 * KiB)
+        yield ctx.touch(buf, write=True)
+
+    r = run_mpi(TOPO, 1, main)
+    assert r.papi.read(0, "L2_MISSES") == 256 * KiB // 64
+    assert r.papi.read(0, "CPU_BUSY") > 0
+
+
+def test_l2_misses_helper_per_rank_and_total():
+    def main(ctx):
+        buf = ctx.alloc(64 * KiB)
+        yield ctx.touch(buf)
+
+    r = run_mpi(TOPO, 2, main, bindings=[0, 4])
+    per_rank = 64 * KiB // 64
+    assert r.l2_misses(0) == per_rank
+    assert r.l2_misses(1) == per_rank
+    assert r.l2_misses() == 2 * per_rank
+
+
+def test_config_overrides_mode():
+    def main(ctx):
+        comm = ctx.comm
+        buf = ctx.alloc(100 * KiB)
+        if ctx.rank == 0:
+            yield comm.Send(buf, dest=1)
+            return None
+        st = yield comm.Recv(buf, source=0)
+        return st.path
+
+    cfg = LmtConfig(mode="knem-ioat")
+    r = run_mpi(TOPO, 2, main, mode="default", config=cfg)
+    assert r.results[1] == "knem+ioat"
+
+
+def test_alloc_names_buffers():
+    def main(ctx):
+        buf = ctx.alloc(64, name="mine")
+        assert buf.name == "mine"
+        yield ctx.compute(0)
+
+    run_mpi(TOPO, 1, main)
+
+
+def test_pipes_and_rings_are_per_ordered_pair():
+    def main(ctx):
+        yield ctx.compute(0)
+
+    r = run_mpi(TOPO, 2, main)
+    world = r.world
+    assert world.pipe(0, 1) is world.pipe(0, 1)
+    assert world.pipe(0, 1) is not world.pipe(1, 0)
+    assert world.copy_ring(0, 1) is world.copy_ring(0, 1)
+    assert world.copy_ring(0, 1) is not world.copy_ring(1, 0)
+
+
+def test_collective_hint_depth_counting():
+    def main(ctx):
+        yield ctx.compute(0)
+
+    world = run_mpi(TOPO, 1, main).world
+    with world.collective_hint(4):
+        assert world.lmt_hint == 4
+        with world.collective_hint(2):
+            assert world.lmt_hint == 4  # keeps the max
+        assert world.lmt_hint == 4  # still one participant inside
+    assert world.lmt_hint == 1
+
+
+def test_until_stops_simulation_early():
+    def main(ctx):
+        yield ctx.compute(100.0)
+        return "finished"
+
+    r = run_mpi(TOPO, 1, main, until=1.0)
+    assert r.elapsed == 1.0
+    assert r.results[0] is None  # never completed

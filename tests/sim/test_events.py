@@ -1,0 +1,116 @@
+"""Tests for composite events (AllOf/AnyOf) and timers."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import AllOf, AnyOf, Engine
+from repro.sim.events import Timeout
+
+
+def test_allof_gathers_values_in_order():
+    eng = Engine()
+    e1, e2, e3 = eng.event(), eng.event(), eng.event()
+
+    def waiter():
+        values = yield AllOf(eng, [e1, e2, e3])
+        return values
+
+    def firer():
+        yield 1.0
+        e2.succeed("b")
+        yield 1.0
+        e1.succeed("a")
+        yield 1.0
+        e3.succeed("c")
+
+    results = eng.run_processes([waiter(), firer()])
+    assert results[0] == ["a", "b", "c"]
+    assert eng.now == 3.0
+
+
+def test_allof_fails_on_first_child_failure():
+    eng = Engine()
+    e1, e2 = eng.event(), eng.event()
+
+    def waiter():
+        try:
+            yield AllOf(eng, [e1, e2])
+        except ValueError as exc:
+            return str(exc)
+
+    def firer():
+        yield 1.0
+        e1.fail(ValueError("boom"))
+        yield 1.0
+        e2.succeed()
+
+    results = eng.run_processes([waiter(), firer()])
+    assert results[0] == "boom"
+
+
+def test_anyof_returns_winner_index_and_value():
+    eng = Engine()
+    e1, e2 = eng.event(), eng.event()
+
+    def waiter():
+        return (yield AnyOf(eng, [e1, e2]))
+
+    def firer():
+        yield 2.0
+        e2.succeed("late")
+        # e1 never fires; AnyOf must already have resolved.
+
+    results = eng.run_processes([waiter(), firer()])
+    assert results[0] == (1, "late")
+
+
+def test_anyof_with_pretriggered_child():
+    eng = Engine()
+    e1 = eng.event()
+    e1.succeed("now")
+    e2 = eng.event()
+
+    def waiter():
+        return (yield AnyOf(eng, [e1, e2]))
+
+    assert eng.run_processes([waiter()]) == [(0, "now")]
+
+
+def test_composites_reject_empty():
+    eng = Engine()
+    with pytest.raises(SimulationError):
+        AllOf(eng, [])
+    with pytest.raises(SimulationError):
+        AnyOf(eng, [])
+
+
+def test_engine_timer_is_event():
+    eng = Engine()
+
+    def waiter():
+        value = yield AllOf(eng, [eng.timer(1.0, "x"), eng.timer(2.0, "y")])
+        return value, eng.now
+
+    results = eng.run_processes([waiter()])
+    assert results[0] == (["x", "y"], 2.0)
+
+
+def test_timeout_rejects_negative():
+    with pytest.raises(SimulationError):
+        Timeout(-1.0)
+
+
+def test_timeout_carries_value():
+    eng = Engine()
+
+    def proc():
+        got = yield Timeout(0.5, value="payload")
+        return got
+
+    assert eng.run_processes([proc()]) == ["payload"]
+
+
+def test_event_fail_requires_exception():
+    eng = Engine()
+    with pytest.raises(SimulationError):
+        eng.event().fail("not an exception")

@@ -1,0 +1,49 @@
+"""Tests for the tracing facility."""
+
+from repro.sim import Engine
+from repro.sim.trace import TraceRecord, Tracer
+
+
+def test_disabled_tracer_records_nothing():
+    t = Tracer(enabled=False)
+    t.emit(1.0, "x", a=1)
+    assert t.records == []
+
+
+def test_enabled_tracer_records_and_filters():
+    t = Tracer(enabled=True)
+    t.emit(1.0, "copy", nbytes=64)
+    t.emit(2.0, "dma", nbytes=128)
+    t.emit(3.0, "copy", nbytes=32)
+    assert len(t.records) == 3
+    copies = list(t.of_kind("copy"))
+    assert [r.fields["nbytes"] for r in copies] == [64, 32]
+
+
+def test_capacity_bounds_memory():
+    t = Tracer(enabled=True, capacity=2)
+    for i in range(5):
+        t.emit(float(i), "k", i=i)
+    assert len(t.records) == 2
+    assert t.records[-1].fields["i"] == 4
+
+
+def test_subscribers_get_records():
+    t = Tracer(enabled=True)
+    seen = []
+    t.subscribe(seen.append)
+    t.emit(1.0, "evt")
+    assert len(seen) == 1 and seen[0].kind == "evt"
+
+
+def test_record_str_readable():
+    r = TraceRecord(1e-6, "copy", {"nbytes": 64})
+    assert "copy" in str(r) and "nbytes=64" in str(r)
+
+
+def test_engine_owns_tracer():
+    eng = Engine(trace=True)
+    eng.tracer.emit(eng.now, "boot")
+    assert eng.tracer.records[0].kind == "boot"
+    eng.tracer.clear()
+    assert not eng.tracer.records

@@ -1,0 +1,33 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    for name in errors.__all__:
+        cls = getattr(errors, name)
+        assert issubclass(cls, errors.ReproError)
+
+
+def test_hierarchy_relationships():
+    assert issubclass(errors.DeadlockError, errors.SimulationError)
+    assert issubclass(errors.CookieError, errors.KnemError)
+    assert issubclass(errors.KnemError, errors.KernelError)
+    assert issubclass(errors.TruncationError, errors.MpiError)
+    assert issubclass(errors.LmtError, errors.MpiError)
+    assert issubclass(errors.BadAddressError, errors.KernelError)
+
+
+def test_deadlock_error_carries_blocked_names():
+    err = errors.DeadlockError(["rank0", "rank3"])
+    assert err.blocked == ["rank0", "rank3"]
+    assert "rank0" in str(err) and "rank3" in str(err)
+
+
+def test_catching_base_class_catches_all():
+    with pytest.raises(errors.ReproError):
+        raise errors.PipeError("x")
+    with pytest.raises(errors.MpiError):
+        raise errors.RankError("y")

@@ -1,0 +1,74 @@
+"""Smoke tests: every example script must run to completion.
+
+The examples are the library's front door; they are executed in-process
+(not subprocessed) so coverage and failures stay visible.  The heavier
+ones are marked slow.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run_example(name: str, capsys) -> str:
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(name, None)
+    return capsys.readouterr().out
+
+
+def test_examples_directory_complete():
+    names = {p.stem for p in EXAMPLES.glob("*.py")}
+    assert {
+        "quickstart",
+        "alltoall_scaling",
+        "nas_is_speedup",
+        "adaptive_thresholds",
+        "async_overlap",
+        "stencil_subcomms",
+    } <= names
+
+
+def test_quickstart_runs(capsys):
+    out = _run_example("quickstart", capsys)
+    assert "shared 4MiB L2" in out
+    assert "knem" in out and "MiB/s" in out
+
+
+def test_async_overlap_runs(capsys):
+    out = _run_example("async_overlap", capsys)
+    assert "consumer loop" in out
+    assert "knem-ioat-async" in out
+
+
+def test_stencil_runs(capsys):
+    out = _run_example("stencil_subcomms", capsys)
+    assert "ms/iteration" in out
+    assert "adaptive" in out
+
+
+@pytest.mark.slow
+def test_nas_is_speedup_runs(capsys):
+    out = _run_example("nas_is_speedup", capsys)
+    assert "is.B.8" in out and "speedup" in out
+
+
+@pytest.mark.slow
+def test_adaptive_thresholds_runs(capsys):
+    out = _run_example("adaptive_thresholds", capsys)
+    assert "DMAmin predictions" in out
+
+
+@pytest.mark.slow
+def test_alltoall_scaling_runs(capsys):
+    out = _run_example("alltoall_scaling", capsys)
+    assert "aggregated MiB/s" in out

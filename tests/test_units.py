@@ -1,0 +1,97 @@
+"""Tests for size/time unit helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.units import (
+    GiB,
+    KiB,
+    MiB,
+    align_down,
+    align_up,
+    ceil_div,
+    fmt_size,
+    fmt_throughput,
+    mib_per_s,
+    parse_size,
+)
+
+
+def test_constants():
+    assert KiB == 1024
+    assert MiB == 1024 * KiB
+    assert GiB == 1024 * MiB
+
+
+@pytest.mark.parametrize(
+    "nbytes,text",
+    [
+        (64 * KiB, "64KiB"),
+        (4 * MiB, "4MiB"),
+        (1536, "1.5KiB"),
+        (3 * GiB, "3GiB"),
+        (123, "123B"),
+        (0, "0B"),
+    ],
+)
+def test_fmt_size(nbytes, text):
+    assert fmt_size(nbytes) == text
+
+
+@pytest.mark.parametrize(
+    "text,nbytes",
+    [
+        ("64KiB", 64 * KiB),
+        ("64kib", 64 * KiB),
+        ("4m", 4 * MiB),
+        ("2GB", 2 * GiB),
+        ("1.5k", 1536),
+        ("123", 123),
+        ("8 MiB", 8 * MiB),
+    ],
+)
+def test_parse_size(text, nbytes):
+    assert parse_size(text) == nbytes
+
+
+def test_parse_size_rejects_junk():
+    with pytest.raises(ValueError):
+        parse_size("many bytes")
+    with pytest.raises(ValueError):
+        parse_size("KiB")
+
+
+@given(
+    st.integers(min_value=0, max_value=1023),
+    st.sampled_from([1, KiB, MiB, GiB]),
+)
+def test_fmt_parse_roundtrip_on_exact_values(n, unit):
+    """Roundtrip holds for values that format without truncation
+    (fmt_size uses %g, so 1025 KiB -> '1.00098MiB' is lossy by design)."""
+    nbytes = n * unit
+    assert parse_size(fmt_size(nbytes)) == nbytes
+
+
+def test_ceil_div():
+    assert ceil_div(10, 3) == 4
+    assert ceil_div(9, 3) == 3
+    assert ceil_div(0, 5) == 0
+    with pytest.raises(ValueError):
+        ceil_div(1, 0)
+
+
+@given(st.integers(min_value=0, max_value=10**9), st.integers(min_value=1, max_value=10**6))
+def test_align_properties(value, alignment):
+    up = align_up(value, alignment)
+    down = align_down(value, alignment)
+    assert up % alignment == 0 and down % alignment == 0
+    assert down <= value <= up
+    assert up - down in (0, alignment)
+
+
+def test_throughput_helpers():
+    assert mib_per_s(MiB, 1.0) == 1.0
+    assert fmt_throughput(10 * MiB, 2.0) == "5.0 MiB/s"
+    with pytest.raises(ValueError):
+        mib_per_s(1, 0.0)
