@@ -1,0 +1,158 @@
+"""Cluster fabric studies: pingpong shapes and hierarchical collectives.
+
+Beyond the paper: its intranode transfer strategies embedded in the
+multi-node setting they were built for.  Sweeps nodes x message size
+over the simulated fabric and checks the canonical shapes — internode
+latency floor, eager/rendezvous crossover, link-rate saturation, and
+the hierarchy-vs-flat allreduce win.  Results are rendered through the
+JSON reporter so each document carries its ``topology`` block.
+"""
+
+import json
+
+import pytest
+from conftest import run_once
+
+from repro.bench.harness import Sweep
+from repro.bench.reporting import format_json
+from repro.hw import cluster_of
+from repro.mpi import run_cluster, run_mpi
+from repro.mpi.coll.tuning import CollTuning
+from repro.units import KiB, MiB, mib_per_s
+
+SIZES = [4 * KiB, 64 * KiB, 256 * KiB, 1 * MiB]
+FLAT = CollTuning(hier_bcast_min=1 << 40, hier_allreduce_min=1 << 40)
+
+
+def _pingpong(nbytes, reps=2):
+    def main(ctx):
+        comm = ctx.comm
+        buf = ctx.alloc(nbytes)
+        peer = 1 - ctx.rank
+        status = None
+        start = None
+        for rep in range(reps + 1):
+            if rep == 1:
+                start = ctx.now
+            if ctx.rank == 0:
+                yield comm.Send(buf, dest=peer, tag=rep)
+                yield comm.Recv(buf, source=peer, tag=rep)
+            else:
+                status = yield comm.Recv(buf, source=peer, tag=rep)
+                yield comm.Send(buf, dest=peer, tag=rep)
+        if ctx.rank == 0:
+            return (ctx.now - start) / (2 * reps)
+        return status.path
+
+    return main
+
+
+def _allreduce(nbytes, reps=1):
+    def main(ctx):
+        from repro.mpi.coll.reduce import allreduce
+
+        a = ctx.alloc(nbytes)
+        b = ctx.alloc(nbytes)
+        a.data[:] = ctx.rank + 1
+        yield from allreduce(ctx.comm, a, b)  # warm scratch + caches
+        t0 = ctx.now
+        for _ in range(reps):
+            yield from allreduce(ctx.comm, a, b)
+        return (ctx.now - t0) / reps
+
+    return main
+
+
+def test_cluster_pingpong_shapes(benchmark, topo):
+    """Intranode vs internode pingpong across the size sweep: the wire
+    adds a latency floor for small messages, flips eager->rendezvous at
+    the fabric threshold, and caps large messages at the link rate."""
+    spec = cluster_of(topo, 2)
+
+    def run():
+        sweep = Sweep("cluster pingpong", "size", "MiB/s")
+        intra, inter = sweep.new_series("intranode"), sweep.new_series("internode")
+        paths = {}
+        for nbytes in SIZES:
+            r_intra = run_mpi(topo, 2, _pingpong(nbytes), bindings=[0, 1])
+            r_inter = run_cluster(spec, 2, _pingpong(nbytes), procs_per_node=1)
+            intra.add(nbytes, mib_per_s(nbytes, r_intra.results[0]))
+            inter.add(nbytes, mib_per_s(nbytes, r_inter.results[0]))
+            paths[nbytes] = r_inter.results[1]
+        return sweep, paths
+
+    sweep, paths = run_once(benchmark, run)
+    doc = json.loads(format_json(sweep, topology=spec))
+    print("\n", format_json(sweep, topology=spec))
+    assert doc["topology"] == {
+        "kind": "cluster",
+        "nodes": 2,
+        "cores_per_node": topo.ncores,
+        "node": topo.name,
+        "fabric": doc["topology"]["fabric"],
+    }
+    inter = sweep.get("internode")
+    intra = sweep.get("intranode")
+    # Latency floor: the fabric never beats the Nemesis queues.
+    assert all(inter.y_at(x) < intra.y_at(x) for x in SIZES)
+    # Eager below the fabric threshold, RDMA rendezvous above.
+    assert paths[4 * KiB] == "net-eager"
+    assert paths[64 * KiB] == paths[1 * MiB] == "nic+rdma"
+    # Large messages saturate the link (one-way goodput, >= 70%).
+    assert inter.y_at(1 * MiB) >= 0.7 * spec.fabric.link_rate / MiB
+
+
+def test_hier_allreduce_beats_flat(benchmark, topo):
+    """The headline hierarchy claim: on every node count >= 2, the
+    two-level allreduce wins once payloads are bandwidth-bound."""
+
+    def run():
+        out = {}
+        for nnodes in (2, 4):
+            spec = cluster_of(topo, nnodes)
+            for label, tuning in (("flat", FLAT), ("hier", None)):
+                r = run_cluster(
+                    spec,
+                    4 * nnodes,
+                    _allreduce(256 * KiB),
+                    procs_per_node=4,
+                    coll_tuning=tuning,
+                )
+                out[(nnodes, label)] = max(r.results)
+        return out
+
+    out = run_once(benchmark, run)
+    print(
+        "\n",
+        {f"{n}n/{l}": f"{t * 1e6:.0f}us" for (n, l), t in sorted(out.items())},
+    )
+    for nnodes in (2, 4):
+        assert out[(nnodes, "hier")] < out[(nnodes, "flat")]
+
+
+def test_hier_allreduce_node_scaling(benchmark, topo):
+    """Flat allreduce degrades with node count (every rank's vector
+    crosses the wire); the hierarchy holds the per-node wire volume
+    constant, so its advantage grows."""
+
+    def run():
+        times = {}
+        for nnodes in (2, 4):
+            spec = cluster_of(topo, nnodes)
+            for label, tuning in (("flat", FLAT), ("hier", None)):
+                r = run_cluster(
+                    spec,
+                    2 * nnodes,
+                    _allreduce(256 * KiB),
+                    procs_per_node=2,
+                    coll_tuning=tuning,
+                )
+                times[(nnodes, label)] = max(r.results)
+        return times
+
+    times = run_once(benchmark, run)
+    gain2 = times[(2, "flat")] / times[(2, "hier")]
+    gain4 = times[(4, "flat")] / times[(4, "hier")]
+    print(f"\n hier gain: 2 nodes {gain2:.2f}x, 4 nodes {gain4:.2f}x")
+    assert gain2 > 1 and gain4 > 1
+    assert gain4 > gain2

@@ -28,21 +28,29 @@ contribution), :mod:`repro.bench` (IMB + NAS + figure/table
 generators).
 """
 
-from repro.core.policy import LmtConfig, LmtPolicy, MODES
+from repro.core.policy import ClusterLmtPolicy, LmtConfig, LmtPolicy, MODES
 from repro.hw.machine import Machine
 from repro.hw.params import HwParams
-from repro.hw.presets import nehalem8, xeon_e5345, xeon_x5460
+from repro.hw.presets import cluster_of, nehalem8, xeon_e5345, xeon_x5460
 from repro.hw.topology import TopologySpec
+from repro.mpi.cluster import ClusterRunResult, run_cluster
 from repro.mpi.communicator import ANY_SOURCE, ANY_TAG, Communicator
 from repro.mpi.world import MpiRunResult, RankContext, run_mpi
+from repro.net.fabric import ClusterSpec, FabricParams
 from repro.sim.engine import Engine
 
 __version__ = "1.0.0"
 
 __all__ = [
     "run_mpi",
+    "run_cluster",
     "RankContext",
     "MpiRunResult",
+    "ClusterRunResult",
+    "ClusterSpec",
+    "ClusterLmtPolicy",
+    "FabricParams",
+    "cluster_of",
     "Communicator",
     "ANY_SOURCE",
     "ANY_TAG",

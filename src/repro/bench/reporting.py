@@ -1,13 +1,25 @@
-"""ASCII rendering of benchmark results (paper-style tables/series)."""
+"""Rendering of benchmark results: ASCII tables, CSV, and JSON.
+
+The JSON form carries a ``topology`` block describing the simulated
+host(s) — single machine or cluster — so stored results remain
+interpretable without the producing script."""
 
 from __future__ import annotations
 
+import json
+from dataclasses import asdict
 from typing import Optional, Sequence
 
 from repro.bench.harness import Sweep
 from repro.units import fmt_size
 
-__all__ = ["format_series_table", "format_table", "format_csv"]
+__all__ = [
+    "format_series_table",
+    "format_table",
+    "format_csv",
+    "format_json",
+    "topology_block",
+]
 
 
 def format_table(
@@ -63,3 +75,43 @@ def format_csv(sweep: Sweep) -> str:
             f"{x}," + ",".join(f"{s.y_at(x):.3f}" for s in sweep.series)
         )
     return "\n".join(lines)
+
+
+def topology_block(spec) -> dict:
+    """Describe the simulated host(s) for embedding in stored results.
+
+    Accepts either a single-machine :class:`~repro.hw.topology.
+    TopologySpec` or a multi-node :class:`~repro.net.fabric.ClusterSpec`
+    (duck-typed on the ``node`` attribute, so this module never imports
+    :mod:`repro.net`)."""
+    node = getattr(spec, "node", None)
+    if node is not None:  # ClusterSpec
+        return {
+            "kind": "cluster",
+            "nodes": spec.nnodes,
+            "cores_per_node": node.ncores,
+            "node": node.name,
+            "fabric": asdict(spec.fabric),
+        }
+    return {
+        "kind": "machine",
+        "nodes": 1,
+        "cores_per_node": spec.ncores,
+        "node": spec.name,
+    }
+
+
+def format_json(sweep: Sweep, topology=None, indent: Optional[int] = 2) -> str:
+    """Serialize a sweep (plus the host description) as JSON."""
+    doc: dict = {
+        "title": sweep.title,
+        "xlabel": sweep.xlabel,
+        "ylabel": sweep.ylabel,
+    }
+    if topology is not None:
+        doc["topology"] = topology_block(topology)
+    doc["series"] = [
+        {"label": s.label, "points": [[x, y] for x, y in s.points]}
+        for s in sweep.series
+    ]
+    return json.dumps(doc, indent=indent)

@@ -41,7 +41,7 @@ class KnemLmt(LmtBackend):
 
     # ------------------------------------------------------------ sender
     def sender_start(self, side: TransferSide):
-        knem = side.world.knem
+        knem = side.world.knem_of(side.rank)
         cookie = yield from knem.send_cmd(side.core, side.views)
         return {"cookie": cookie}
 
@@ -52,7 +52,7 @@ class KnemLmt(LmtBackend):
 
     # ---------------------------------------------------------- receiver
     def receiver_transfer(self, side: TransferSide, rts_info: dict):
-        knem = side.world.knem
+        knem = side.world.knem_of(side.rank)
         machine = side.machine
         cookie = rts_info.get("cookie")
         if cookie is None:

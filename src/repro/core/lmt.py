@@ -20,7 +20,7 @@ CPU time lands on the right core automatically.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Sequence
 
 from repro.kernel.address_space import BufferView
@@ -40,10 +40,13 @@ class TransferSide:
     views: list[BufferView]
     nbytes: int
     txn: int
+    #: Backend-private state carried between this side's hooks (the
+    #: same TransferSide object is reused across prepare/transfer).
+    scratch: dict = field(default_factory=dict)
 
     @property
     def machine(self):
-        return self.world.machine
+        return self.world.machine_of(self.rank)
 
     @property
     def engine(self):

@@ -47,7 +47,7 @@ from repro.errors import LmtError
 from repro.hw.topology import TopologySpec
 from repro.units import KiB
 
-__all__ = ["LmtConfig", "LmtPolicy", "MODES", "make_policy"]
+__all__ = ["LmtConfig", "LmtPolicy", "ClusterLmtPolicy", "MODES", "make_policy"]
 
 MODES = (
     "default",
@@ -176,6 +176,33 @@ class LmtPolicy:
                 return self._backends["knem+ioat+async"]
             return self._backends["knem"]
         raise LmtError(f"unhandled mode {mode!r}")
+
+
+class ClusterLmtPolicy(LmtPolicy):
+    """LmtPolicy extended with the internode dimension.
+
+    Intranode pairs keep the exact mode-driven selection of the base
+    class; internode pairs switch at :attr:`net_eager_max` between the
+    bounce-buffer eager path and the NIC RDMA rendezvous backend.
+    """
+
+    def __init__(self, topo: TopologySpec, config: LmtConfig, fabric_params) -> None:
+        super().__init__(topo, config)
+        # Imported here so single-node runs never load the net layer.
+        from repro.net.lmt import NicRdmaLmt
+
+        self.fabric = fabric_params
+        rdma = NicRdmaLmt()
+        self._backends[rdma.name] = rdma
+
+    @property
+    def net_eager_max(self) -> int:
+        """Internode eager/rendezvous switch (wire-protocol threshold)."""
+        return self.fabric.eager_max
+
+    def select_internode(self, nbytes: int) -> LmtBackend:
+        """Pick the rendezvous backend for an internode transfer."""
+        return self._backends["nic+rdma"]
 
 
 def make_policy(topo: TopologySpec, mode: str = "default", **kwargs) -> LmtPolicy:

@@ -63,7 +63,7 @@ class CopyRing:
     """A persistent shared-memory copy ring for one ordered rank pair."""
 
     def __init__(self, world, src_rank: int, dst_rank: int) -> None:
-        machine = world.machine
+        machine = world.machine_of(src_rank)
         params = machine.params
         self.cell_bytes = params.shm_chunk
         self.ncells = params.shm_cells

@@ -20,7 +20,7 @@ from repro.hw.dma import DmaEngine, DmaRequest
 from repro.hw.machine import Machine
 from repro.hw.memory import MemorySystem
 from repro.hw.params import HwParams
-from repro.hw.presets import nehalem8, xeon_e5345, xeon_x5460
+from repro.hw.presets import cluster_of, nehalem8, xeon_e5345, xeon_x5460
 from repro.hw.topology import TopologySpec
 
 __all__ = [
@@ -36,6 +36,7 @@ __all__ = [
     "MemorySystem",
     "HwParams",
     "TopologySpec",
+    "cluster_of",
     "xeon_e5345",
     "xeon_x5460",
     "nehalem8",

@@ -17,7 +17,7 @@ from repro.hw.params import HwParams
 from repro.hw.topology import TopologySpec
 from repro.units import MiB
 
-__all__ = ["xeon_e5345", "xeon_x5460", "nehalem8"]
+__all__ = ["xeon_e5345", "xeon_x5460", "nehalem8", "cluster_of"]
 
 
 def xeon_e5345(params: HwParams | None = None) -> TopologySpec:
@@ -63,4 +63,35 @@ def nehalem8(params: HwParams | None = None) -> TopologySpec:
         dies_per_socket=1,
         cores_per_die=8,
         params=params or HwParams(l2_bytes=8 * MiB),
+    )
+
+
+def cluster_of(topo: TopologySpec, nnodes: int, fabric=None) -> "ClusterSpec":
+    """``nnodes`` identical ``topo`` hosts joined by one fabric.
+
+    Example::
+
+        from repro import cluster_of, run_cluster, xeon_e5345
+        from repro.units import MiB
+
+        spec = cluster_of(xeon_e5345(), nnodes=2)
+
+        def main(ctx):
+            comm = ctx.comm
+            buf = ctx.alloc(1 * MiB)
+            if ctx.rank == 0:
+                yield comm.Send(buf, dest=comm.size - 1)   # crosses the wire
+            elif ctx.rank == comm.size - 1:
+                status = yield comm.Recv(buf, source=0)
+                assert status.path == "nic+rdma"
+
+        result = run_cluster(spec, procs_per_node=4, main=main)
+
+    ``fabric`` overrides the default :class:`~repro.net.fabric.FabricParams`
+    (e.g. ``FabricParams().scaled(link_rate=5 * GiB)``).
+    """
+    from repro.net.fabric import ClusterSpec, FabricParams
+
+    return ClusterSpec(
+        node=topo, nnodes=nnodes, fabric=fabric or FabricParams()
     )

@@ -15,6 +15,7 @@ Every MPI call is a generator: simulated processes ``yield`` them
 (``yield comm.Send(buf, dest=1)``), and the engine trampolines.
 """
 
+from repro.mpi.cluster import ClusterRunResult, ClusterWorld, run_cluster
 from repro.mpi.communicator import ANY_SOURCE, ANY_TAG, Communicator
 from repro.mpi.datatypes import Contiguous, Datatype, Indexed, Vector, as_views
 from repro.mpi.request import Request
@@ -24,6 +25,8 @@ from repro.mpi.world import MpiRunResult, RankContext, run_mpi
 __all__ = [
     "ANY_SOURCE",
     "ANY_TAG",
+    "ClusterRunResult",
+    "ClusterWorld",
     "Communicator",
     "Contiguous",
     "Datatype",
@@ -34,5 +37,6 @@ __all__ = [
     "Status",
     "MpiRunResult",
     "RankContext",
+    "run_cluster",
     "run_mpi",
 ]

@@ -41,7 +41,7 @@ def allgather_ring(comm, sendbuf, recvbuf):
     blocks, block = _blocks(recvbuf, p)
 
     # Own contribution in place.
-    yield from cpu_copy(comm.world.machine, comm.core, blocks[rank], send_views)
+    yield from cpu_copy(comm.machine, comm.core, blocks[rank], send_views)
     if p == 1:
         return
 
@@ -68,7 +68,7 @@ def allgather_recursive_doubling(comm, sendbuf, recvbuf):
     send_views = as_views(sendbuf)
     blocks, block = _blocks(recvbuf, p)
 
-    yield from cpu_copy(comm.world.machine, comm.core, blocks[rank], send_views)
+    yield from cpu_copy(comm.machine, comm.core, blocks[rank], send_views)
     if p == 1:
         return
 

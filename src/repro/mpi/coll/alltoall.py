@@ -25,7 +25,14 @@ from repro.mpi.datatypes import as_views
 from repro.mpi.request import Request
 from repro.units import KiB
 
-__all__ = ["alltoall", "alltoallv", "alltoall_bruck", "MEDIUM_BLOCK_MAX"]
+__all__ = [
+    "alltoall",
+    "alltoallv",
+    "alltoall_bruck",
+    "alltoall_scattered",
+    "alltoall_pairwise",
+    "MEDIUM_BLOCK_MAX",
+]
 
 _A2A_TAG = -7000
 _A2AV_TAG = -8000
@@ -40,55 +47,84 @@ def _is_pow2(n: int) -> bool:
 
 
 def alltoall(comm, sendbuf, recvbuf):
-    """Alltoall of equal blocks (algorithm chosen by block size).
+    """Alltoall of equal blocks — the algorithm selector.
+
+    Plain function: picks by per-pair block size and returns the chosen
+    algorithm's generator (whose ``__name__`` identifies the choice).
+    """
+    p = comm.size
+    _, block = _blocks(sendbuf, p)
+    tuning = comm.world.coll_tuning
+    if p > 2 and 0 < block <= tuning.hier_alltoall_max:
+        from repro.mpi.coll.hier import alltoall_hier, hier_applicable
+
+        if hier_applicable(comm):
+            return alltoall_hier(comm, sendbuf, recvbuf)
+    if p > 2 and block <= tuning.alltoall_bruck_max:
+        return alltoall_bruck(comm, sendbuf, recvbuf)
+    if block <= tuning.alltoall_medium_max:
+        return alltoall_scattered(comm, sendbuf, recvbuf)
+    return alltoall_pairwise(comm, sendbuf, recvbuf)
+
+
+def alltoall_scattered(comm, sendbuf, recvbuf):
+    """Scattered alltoall: every irecv and isend posted at once.
     Generator."""
     p = comm.size
     rank = comm.rank
-    send_blocks, block = _blocks(sendbuf, p)
+    send_blocks, _ = _blocks(sendbuf, p)
     recv_blocks, _ = _blocks(recvbuf, p)
-
-    tuning = comm.world.coll_tuning
-    if p > 2 and block <= tuning.alltoall_bruck_max:
-        yield from alltoall_bruck(comm, sendbuf, recvbuf)
-        return
 
     # Own block: local copy.
     yield from cpu_copy(
-        comm.world.machine, comm.core, recv_blocks[rank], send_blocks[rank]
+        comm.machine, comm.core, recv_blocks[rank], send_blocks[rank]
     )
     if p == 1:
         return
 
     with comm.world.collective_hint(p - 1):
-        if block <= tuning.alltoall_medium_max:
-            # Scattered: everything in flight at once.
-            requests = []
-            for step in range(1, p):
-                peer = rank ^ step if _is_pow2(p) else (rank - step) % p
-                requests.append(
-                    comm.Irecv(recv_blocks[peer], source=peer, tag=_A2A_TAG)
-                )
-            for step in range(1, p):
-                peer = rank ^ step if _is_pow2(p) else (rank + step) % p
-                requests.append(
-                    comm.Isend(send_blocks[peer], dest=peer, tag=_A2A_TAG)
-                )
-            yield from Request.waitall(requests)
-        else:
-            # Pairwise exchange.
-            for step in range(1, p):
-                if _is_pow2(p):
-                    send_to = recv_from = rank ^ step
-                else:
-                    send_to = (rank + step) % p
-                    recv_from = (rank - step) % p
-                rreq = comm.Irecv(
-                    recv_blocks[recv_from], source=recv_from, tag=_A2A_TAG + step
-                )
-                sreq = comm.Isend(
-                    send_blocks[send_to], dest=send_to, tag=_A2A_TAG + step
-                )
-                yield from Request.waitall([sreq, rreq])
+        requests = []
+        for step in range(1, p):
+            peer = rank ^ step if _is_pow2(p) else (rank - step) % p
+            requests.append(
+                comm.Irecv(recv_blocks[peer], source=peer, tag=_A2A_TAG)
+            )
+        for step in range(1, p):
+            peer = rank ^ step if _is_pow2(p) else (rank + step) % p
+            requests.append(
+                comm.Isend(send_blocks[peer], dest=peer, tag=_A2A_TAG)
+            )
+        yield from Request.waitall(requests)
+
+
+def alltoall_pairwise(comm, sendbuf, recvbuf):
+    """Pairwise-exchange alltoall: one distinct peer per round.
+    Generator."""
+    p = comm.size
+    rank = comm.rank
+    send_blocks, _ = _blocks(sendbuf, p)
+    recv_blocks, _ = _blocks(recvbuf, p)
+
+    yield from cpu_copy(
+        comm.machine, comm.core, recv_blocks[rank], send_blocks[rank]
+    )
+    if p == 1:
+        return
+
+    with comm.world.collective_hint(p - 1):
+        for step in range(1, p):
+            if _is_pow2(p):
+                send_to = recv_from = rank ^ step
+            else:
+                send_to = (rank + step) % p
+                recv_from = (rank - step) % p
+            rreq = comm.Irecv(
+                recv_blocks[recv_from], source=recv_from, tag=_A2A_TAG + step
+            )
+            sreq = comm.Isend(
+                send_blocks[send_to], dest=send_to, tag=_A2A_TAG + step
+            )
+            yield from Request.waitall([sreq, rreq])
 
 
 def alltoall_bruck(comm, sendbuf, recvbuf):
@@ -103,7 +139,7 @@ def alltoall_bruck(comm, sendbuf, recvbuf):
     """
     p = comm.size
     rank = comm.rank
-    machine = comm.world.machine
+    machine = comm.machine
     send_blocks, block = _blocks(sendbuf, p)
     recv_blocks, _ = _blocks(recvbuf, p)
 
@@ -186,7 +222,7 @@ def alltoallv(comm, sendbuf, send_counts, recvbuf, recv_counts):
 
     if send_counts[rank]:
         yield from cpu_copy(
-            comm.world.machine, comm.core, [rblock(rank)], [sblock(rank)]
+            comm.machine, comm.core, [rblock(rank)], [sblock(rank)]
         )
     if p == 1:
         return

@@ -23,6 +23,11 @@ def bcast(comm, buf, root: int = 0):
     views = as_views(buf)
     nbytes = sum(v.nbytes for v in views)
     tuning = comm.world.coll_tuning
+    if nbytes >= tuning.hier_bcast_min:
+        from repro.mpi.coll.hier import bcast_hier, hier_applicable
+
+        if hier_applicable(comm):
+            return bcast_hier(comm, buf, root)
     if nbytes >= tuning.bcast_long_min and comm.size > 2:
         return bcast_scatter_allgather(comm, buf, root)
     return bcast_binomial(comm, buf, root)

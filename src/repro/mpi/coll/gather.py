@@ -62,7 +62,7 @@ def gather(comm, sendbuf, recvbuf, root: int = 0):
                 continue
             requests.append(comm.Irecv(blocks[src], source=src, tag=_GATHER_TAG))
         # Root's own contribution: a local copy.
-        yield from cpu_copy(comm.world.machine, comm.core, blocks[root], send_views)
+        yield from cpu_copy(comm.machine, comm.core, blocks[root], send_views)
         yield from Request.waitall(requests)
     else:
         yield comm.Send(send_views, dest=root, tag=_GATHER_TAG)
@@ -82,7 +82,7 @@ def scatter(comm, sendbuf, recvbuf, root: int = 0):
             if dst == root:
                 continue
             requests.append(comm.Isend(blocks[dst], dest=dst, tag=_SCATTER_TAG))
-        yield from cpu_copy(comm.world.machine, comm.core, recv_views, blocks[root])
+        yield from cpu_copy(comm.machine, comm.core, recv_views, blocks[root])
         yield from Request.waitall(requests)
     else:
         yield comm.Recv(recv_views, source=root, tag=_SCATTER_TAG)

@@ -47,7 +47,7 @@ def _default_op(acc: np.ndarray, incoming: np.ndarray) -> None:
 
 def _combine(comm, dst_views, src_views, op, dtype):
     """Timed, real combination of two equal-size iovecs."""
-    machine = comm.world.machine
+    machine = comm.machine
     core = comm.core
     # Timing: stream the incoming data, then read-modify-write ours.
     yield from stream_access(machine, core, src_views, write=False, intensity=1.0)
@@ -96,7 +96,7 @@ def reduce(
     # Every rank accumulates into a scratch (cached per communicator).
     acc = _scratch(comm, "_reduce_acc", nbytes)
     tmp = _scratch(comm, "_reduce_tmp", nbytes)
-    yield from cpu_copy(comm.world.machine, comm.core, [acc.view(0, nbytes)], send_views)
+    yield from cpu_copy(comm.machine, comm.core, [acc.view(0, nbytes)], send_views)
 
     vrank = (rank - root) % p
     mask = 1
@@ -118,7 +118,7 @@ def reduce(
             raise MpiError("root must supply a receive buffer to Reduce")
         recv_views = as_views(recvbuf)
         yield from cpu_copy(
-            comm.world.machine, comm.core, recv_views, [acc.view(0, nbytes)]
+            comm.machine, comm.core, recv_views, [acc.view(0, nbytes)]
         )
 
 
@@ -127,6 +127,11 @@ def allreduce(comm, sendbuf, recvbuf, op=None, dtype=None):
     """Algorithm-selecting allreduce (generator)."""
     nbytes = sum(v.nbytes for v in as_views(sendbuf))
     tuning = comm.world.coll_tuning
+    if nbytes >= tuning.hier_allreduce_min:
+        from repro.mpi.coll.hier import allreduce_hier, hier_applicable
+
+        if hier_applicable(comm):
+            return allreduce_hier(comm, sendbuf, recvbuf, op, dtype)
     if _is_pow2(comm.size) and comm.size > 1:
         if nbytes >= tuning.allreduce_rabenseifner_min and nbytes >= comm.size:
             return allreduce_rabenseifner(comm, sendbuf, recvbuf, op, dtype)
@@ -156,7 +161,7 @@ def allreduce_recursive_doubling(comm, sendbuf, recvbuf, op=None, dtype=None):
     recv_views = as_views(recvbuf)
     nbytes = sum(v.nbytes for v in send_views)
 
-    yield from cpu_copy(comm.world.machine, comm.core, recv_views, send_views)
+    yield from cpu_copy(comm.machine, comm.core, recv_views, send_views)
     if p == 1:
         return
     tmp = _scratch(comm, "_ar_tmp", nbytes)
@@ -192,7 +197,7 @@ def allreduce_rabenseifner(comm, sendbuf, recvbuf, op=None, dtype=None):
     recv = recv_views[0]
     nbytes = recv.nbytes
 
-    yield from cpu_copy(comm.world.machine, comm.core, recv_views, send_views)
+    yield from cpu_copy(comm.machine, comm.core, recv_views, send_views)
     if p == 1:
         return
     tmp = _scratch(comm, "_rab_tmp", nbytes)
@@ -295,7 +300,7 @@ def reduce_scatter_block(comm, sendbuf, recvbuf, op=None, dtype=None):
     work = _scratch(comm, "_rs_work", total)
     tmp = _scratch(comm, "_rs_tmp", total)
     yield from cpu_copy(
-        comm.world.machine, comm.core, [work.view(0, total)], send_views
+        comm.machine, comm.core, [work.view(0, total)], send_views
     )
 
     lo, count = 0, p
@@ -332,7 +337,7 @@ def reduce_scatter_block(comm, sendbuf, recvbuf, op=None, dtype=None):
 
     assert lo == rank and count == 1
     yield from cpu_copy(
-        comm.world.machine,
+        comm.machine,
         comm.core,
         _clip(recv_views, block),
         [work.view(rank * block, block)],

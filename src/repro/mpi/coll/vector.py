@@ -61,7 +61,7 @@ def gatherv(comm, sendbuf, recvbuf, counts: Sequence[int], root: int = 0):
             )
         if counts[root]:
             yield from cpu_copy(
-                comm.world.machine,
+                comm.machine,
                 comm.core,
                 [rv.sub(offs[root], counts[root])],
                 send_views,
@@ -90,7 +90,7 @@ def scatterv(comm, sendbuf, recvbuf, counts: Sequence[int], root: int = 0):
             )
         if counts[root]:
             yield from cpu_copy(
-                comm.world.machine,
+                comm.machine,
                 comm.core,
                 recv_views,
                 [sv.sub(offs[root], counts[root])],
@@ -111,7 +111,7 @@ def allgatherv(comm, sendbuf, recvbuf, counts: Sequence[int]):
 
     if counts[rank]:
         yield from cpu_copy(
-            comm.world.machine,
+            comm.machine,
             comm.core,
             [rv.sub(offs[rank], counts[rank])],
             as_views(sendbuf),

@@ -29,6 +29,7 @@ from repro.mpi.nemesis import (
 )
 from repro.mpi.request import Request
 from repro.mpi.status import Status
+from repro.net.protocol import NetEagerPacket, send_eager
 
 __all__ = ["Communicator", "ANY_SOURCE", "ANY_TAG"]
 
@@ -75,6 +76,9 @@ class Communicator:
         self.size = len(self.group)
         self.world_rank = self.group[rank]
         self.core = world.core_of(self.world_rank)
+        #: The machine this rank's core lives on (one of several in a
+        #: cluster world).
+        self.machine = world.machine_of(self.world_rank)
         self.endpoint = world.endpoints[self.world_rank]
         self._world_to_local = {w: l for l, w in enumerate(self.group)}
         self._split_seq = 0
@@ -98,9 +102,9 @@ class Communicator:
 
     def _sw_overhead(self):
         """Per-message software cost of the Nemesis queues."""
-        cost = self.world.machine.params.t_mpi_overhead
-        self.world.machine.papi.add(self.core, "CPU_BUSY", cost)
-        yield self.world.machine.cores[self.core].busy(cost)
+        cost = self.machine.params.t_mpi_overhead
+        self.machine.papi.add(self.core, "CPU_BUSY", cost)
+        yield self.machine.cores[self.core].busy(cost)
 
     # ------------------------------------------------------------- send
     def Send(self, buf: BufLike, dest: int, tag: int = 0):
@@ -129,17 +133,24 @@ class Communicator:
         self, views: list[BufferView], dest: int, tag: int, force_rndv: bool = False
     ):
         nbytes = total_bytes(views)
-        eager_ok = (
-            not force_rndv
-            and nbytes < self.world.policy.eager_threshold
-            and nbytes <= self.endpoint.cell_bytes
-        )
+        world = self.world
+        dest_world = self._to_world(dest)
         if dest == self.rank:
             yield from self._send_self(views, nbytes, tag)
-        elif eager_ok:
-            yield from self._send_eager(views, nbytes, dest, tag)
+        elif not world.same_node(self.world_rank, dest_world):
+            # Internode: the wire protocol's eager/rendezvous switch.
+            if not force_rndv and nbytes <= world.policy.net_eager_max:
+                yield from send_eager(self, views, nbytes, dest_world, tag)
+            else:
+                yield from self._send_rndv(views, nbytes, dest_world, tag)
+        elif (
+            not force_rndv
+            and nbytes < world.policy.eager_threshold
+            and nbytes <= self.endpoint.cell_bytes
+        ):
+            yield from self._send_eager(views, nbytes, dest_world, tag)
         else:
-            yield from self._send_rndv(views, nbytes, dest, tag)
+            yield from self._send_rndv(views, nbytes, dest_world, tag)
         return Status(source=self.rank, tag=tag, nbytes=nbytes, path="send")
 
     def _send_self(self, views, nbytes, tag):
@@ -164,14 +175,13 @@ class Communicator:
         before the 64 KiB rendezvous switch (the paper's Fig. 7
         observation that the LMT threshold should be lowered).
         """
-        params = self.world.machine.params
+        params = self.machine.params
         ncells = max(1, -(-nbytes // params.eager_cell_bytes))
         cost = ncells * params.t_cell_op
-        self.world.machine.papi.add(self.core, "CPU_BUSY", cost)
-        yield self.world.machine.cores[self.core].busy(cost)
+        self.machine.papi.add(self.core, "CPU_BUSY", cost)
+        yield self.machine.cores[self.core].busy(cost)
 
-    def _send_eager(self, views, nbytes, dest, tag):
-        dest_world = self._to_world(dest)
+    def _send_eager(self, views, nbytes, dest_world, tag):
         yield from self._sw_overhead()
         cell = None
         if nbytes > 0:
@@ -183,7 +193,7 @@ class Communicator:
             try:
                 yield from self._cell_cost(nbytes)
                 yield from cpu_copy(
-                    self.world.machine, self.core, [cell.view(0, nbytes)], views
+                    self.machine, self.core, [cell.view(0, nbytes)], views
                 )
             finally:
                 dst_ep.enqueue_lock.release()
@@ -195,18 +205,21 @@ class Communicator:
             ),
         )
 
-    def _send_rndv(self, views, nbytes, dest, tag):
+    def _send_rndv(self, views, nbytes, dest_world, tag):
         yield from self._sw_overhead()
         world = self.world
-        dest_world = self._to_world(dest)
         peer_core = world.core_of(dest_world)
-        backend = world.policy.select(
-            nbytes,
-            self.core,
-            peer_core,
-            cache_sharers=world.cache_sharers(dest_world),
-            hint=world.lmt_hint,
-        )
+        backend = world.select_backend(nbytes, self.world_rank, dest_world)
+        tracer = world.engine.tracer
+        if tracer.enabled:
+            tracer.emit(
+                world.engine.now,
+                "lmt",
+                backend=backend.name,
+                src=self.world_rank,
+                dst=dest_world,
+                nbytes=nbytes,
+            )
         txn = world.new_txn()
         waiters = self.endpoint.open_txn(txn)
         side = TransferSide(
@@ -292,7 +305,7 @@ class Communicator:
                 f"rank {self.rank}: message of {pkt.nbytes}B from {pkt.src} "
                 f"exceeds receive buffer of {capacity}B"
             )
-        machine = self.world.machine
+        machine = self.machine
 
         if isinstance(pkt, SelfPacket):
             yield from self._sw_overhead()
@@ -316,6 +329,18 @@ class Communicator:
                 self.endpoint.free_cells.put(pkt.cell)
             self.endpoint.eager_received += 1
             return Status(self._to_local(pkt.src), pkt.tag, pkt.nbytes, "eager")
+
+        if isinstance(pkt, NetEagerPacket):
+            yield from self._sw_overhead()
+            if pkt.nbytes:
+                # Drain the NIC's receive-side bounce buffer, then hand
+                # it back to the preposted pool.
+                yield from cpu_copy(
+                    machine, self.core, _clip_views(views, pkt.nbytes), [pkt.staged]
+                )
+                pkt.release()
+            self.endpoint.eager_received += 1
+            return Status(self._to_local(pkt.src), pkt.tag, pkt.nbytes, "net-eager")
 
         if isinstance(pkt, RtsPacket):
             backend = self.world.policy.backend(pkt.backend)

@@ -88,7 +88,9 @@ class SelfPacket:
     cid: int = 0
 
 
-_MATCHABLE = (EagerPacket, RtsPacket, SelfPacket)
+from repro.net.protocol import NetEagerPacket
+
+_MATCHABLE = (EagerPacket, RtsPacket, SelfPacket, NetEagerPacket)
 
 
 def _matches(posted_source: int, posted_tag: int, posted_cid: int, pkt) -> bool:
@@ -122,7 +124,8 @@ class Endpoint:
         self.world = world
         self.rank = rank
         engine = world.engine
-        cell_bytes = world.machine.params.lmt_threshold
+        machine = world.machine_of(rank)
+        cell_bytes = machine.params.lmt_threshold
         self.cell_bytes = cell_bytes
         #: The receiver-owned free-cell queue senders allocate from.
         self.free_cells: Channel = Channel(engine, name=f"r{rank}.cells")
@@ -131,7 +134,7 @@ class Endpoint:
         self.enqueue_lock = FifoLock(engine, name=f"r{rank}.q")
         for i in range(ncells):
             self.free_cells.put(
-                alloc_shared(world.machine, cell_bytes, name=f"r{rank}.cell{i}")
+                alloc_shared(machine, cell_bytes, name=f"r{rank}.cell{i}")
             )
         self._posted: list[PostedRecv] = []
         self._unexpected: list[Any] = []

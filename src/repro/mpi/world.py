@@ -95,12 +95,46 @@ class MpiWorld:
     def core_of(self, rank: int) -> int:
         return self.bindings[rank]
 
+    # Node-topology hooks: a plain MpiWorld is one node.  ClusterWorld
+    # (repro.mpi.cluster) overrides these so ranks span machines while
+    # the communicator code stays node-agnostic.
+    @property
+    def nnodes(self) -> int:
+        return 1
+
+    def node_of(self, rank: int) -> int:
+        return 0
+
+    def same_node(self, a: int, b: int) -> bool:
+        return self.node_of(a) == self.node_of(b)
+
+    def machine_of(self, rank: int) -> Machine:
+        return self.machine
+
+    def knem_of(self, rank: int) -> KnemDevice:
+        return self.knem
+
     def cache_sharers(self, rank: int) -> int:
         """How many ranks run on cores sharing ``rank``'s L2 (itself
         included) — the denominator of the DMAmin formula."""
-        topo = self.machine.topo
+        topo = self.machine_of(rank).topo
         mine = self.core_of(rank)
-        return sum(1 for c in self.bindings if topo.shares_cache(mine, c))
+        node = self.node_of(rank)
+        return sum(
+            1
+            for r in range(self.nprocs)
+            if self.node_of(r) == node and topo.shares_cache(mine, self.core_of(r))
+        )
+
+    def select_backend(self, nbytes: int, src_rank: int, dst_rank: int):
+        """Pick the rendezvous backend for one (src, dst) transfer."""
+        return self.policy.select(
+            nbytes,
+            self.core_of(src_rank),
+            self.core_of(dst_rank),
+            cache_sharers=self.cache_sharers(dst_rank),
+            hint=self.lmt_hint,
+        )
 
     def new_txn(self) -> int:
         return next(self._txn_counter)
@@ -121,11 +155,16 @@ class MpiWorld:
     # --------------------------------------------------------- transports
     def pipe(self, src_rank: int, dst_rank: int) -> Pipe:
         """The persistent per-ordered-pair pipe of the vmsplice LMT."""
+        if not self.same_node(src_rank, dst_rank):
+            raise MpiError(
+                f"pipe between ranks {src_rank} and {dst_rank} on different nodes"
+            )
         key = (src_rank, dst_rank)
         if key not in self._pipes:
-            pipe = Pipe(self.machine, name=f"pipe{src_rank}->{dst_rank}")
-            params = self.machine.params
-            shared = self.machine.topo.shares_cache(
+            machine = self.machine_of(src_rank)
+            pipe = Pipe(machine, name=f"pipe{src_rank}->{dst_rank}")
+            params = machine.params
+            shared = machine.topo.shares_cache(
                 self.core_of(src_rank), self.core_of(dst_rank)
             )
             pipe.sync_cost = (
@@ -147,10 +186,11 @@ class MpiWorld:
     def deliver(self, src_rank: int, dst_rank: int, pkt) -> None:
         """Queue a control packet; the receiver notices it after the
         locality-dependent flag latency."""
-        params = self.machine.params
+        machine = self.machine_of(src_rank)
+        params = machine.params
         src_core = self.core_of(src_rank)
         dst_core = self.core_of(dst_rank)
-        if self.machine.topo.shares_cache(src_core, dst_core):
+        if machine.topo.shares_cache(src_core, dst_core):
             latency = params.t_wakeup_shared
         else:
             latency = params.t_wakeup_remote
@@ -201,7 +241,7 @@ class RankContext:
 
     @property
     def machine(self) -> Machine:
-        return self.world.machine
+        return self.world.machine_of(self.rank)
 
     @property
     def core(self) -> int:

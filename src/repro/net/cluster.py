@@ -1,0 +1,28 @@
+"""N machines joined by one fabric."""
+
+from __future__ import annotations
+
+from repro.hw.machine import Machine
+from repro.net.fabric import ClusterSpec, Fabric
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    """Identical nodes, one NIC each, a single switch between them."""
+
+    def __init__(self, engine, spec: ClusterSpec) -> None:
+        self.engine = engine
+        self.spec = spec
+        self.machines = [Machine(engine, spec.node) for _ in range(spec.nnodes)]
+        self.fabric = Fabric(engine, self.machines, spec.fabric)
+
+    @property
+    def nnodes(self) -> int:
+        return self.spec.nnodes
+
+    def machine(self, node: int) -> Machine:
+        return self.machines[node]
+
+    def nic(self, node: int):
+        return self.fabric.nic(node)

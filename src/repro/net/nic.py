@@ -1,0 +1,270 @@
+"""Per-node NICs: in-order descriptor queues with completion events.
+
+Deliberately the same shape as :class:`repro.hw.dma.DmaEngine` — the
+"Memory Operation Offloading" view of a NIC as one more asynchronous
+copy engine.  A TX worker drains the descriptor queue in order; each
+descriptor's service time is the wire serialization at ``link_rate``
+overlapped with the DMA read from host DRAM (which contends with the
+node's cores on the shared DRAM bus).  The RX worker mirrors it on the
+destination node: DMA write into host memory, then the completion
+callback after the CQ-poll delay.
+
+Requests complete either locally (``ack=False``: the event fires when
+the NIC has read the last byte — the host buffer is reusable) or
+remotely (``ack=True``: a tiny hardware ack returns after the last
+byte lands, the RDMA-write semantic).
+
+Memory registration reuses :class:`repro.kernel.regcache.RegistrationCache`
+per NIC: first touch of a buffer pays a per-page pin + translation-entry
+cost, repeats are free — the InfiniBand-style pin-down cache whose
+break-even sets the eager/rendezvous crossover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import HardwareError
+from repro.kernel.address_space import BufferView, alloc_shared
+from repro.kernel.regcache import RegistrationCache
+from repro.sim.events import AllOf, Event
+from repro.sim.resources import Channel
+from repro.units import CACHE_LINE, ceil_div
+
+__all__ = ["NetDescriptor", "NicRequest", "Nic"]
+
+
+@dataclass
+class NetDescriptor:
+    """One wire segment handed to the NIC.
+
+    ``src_phys``/``dst_phys`` of -1 mean "not host user memory on that
+    side" (control headers, staged eager payloads) — no coherence work
+    is charged for that side.
+    """
+
+    nbytes: int
+    execute: Optional[Callable[[], None]] = None
+    src_phys: int = -1
+    dst_phys: int = -1
+
+
+@dataclass
+class NicRequest:
+    """A batch of descriptors with a single completion notification."""
+
+    dst_node: int
+    descriptors: list[NetDescriptor]
+    done: Event
+    #: True: ``done`` fires on the remote ack (RDMA write).  False:
+    #: ``done`` fires once the local NIC read the last byte.
+    ack: bool = False
+    #: Stage the payload into a receive-side bounce buffer on arrival
+    #: (the eager path); fills ``rx_view`` before ``on_delivered`` runs.
+    stage_rx: bool = False
+    payload_nbytes: int = 0
+    #: Sender-side staging view the RX staging copy reads from.
+    tx_stage: Optional[BufferView] = None
+    #: Returns the sender's bounce buffer to its pool (called once the
+    #: payload left the wire into receive-side memory).
+    tx_release: Optional[Callable[[], None]] = None
+    #: Delivered-side callback, scheduled ``t_completion`` after the
+    #: last byte lands; receives this request.
+    on_delivered: Optional[Callable[["NicRequest"], None]] = None
+    kind: str = "ctrl"
+    src_node: int = -1
+    # Filled by the receive-side staging (eager path).
+    rx_view: Optional[BufferView] = None
+    rx_release: Optional[Callable[[], None]] = None
+
+    @property
+    def nbytes(self) -> int:
+        return sum(d.nbytes for d in self.descriptors)
+
+
+class Nic:
+    """One node's network interface."""
+
+    def __init__(self, engine, machine, node: int, fabric) -> None:
+        self.engine = engine
+        self.machine = machine
+        self.node = node
+        self.fabric = fabric
+        self.params = fabric.params
+        self._tx_queue = Channel(engine, name=f"nic{node}.tx")
+        self._rx_queue = Channel(engine, name=f"nic{node}.rx")
+        #: Pin-down cache for RDMA registrations (per NIC, like per HCA).
+        self.regcache = RegistrationCache()
+        #: Send-side bounce buffers for eager staging.
+        self.tx_bounce = Channel(engine, name=f"nic{node}.txb")
+        for i in range(self.params.tx_bounce_count):
+            self.tx_bounce.put(
+                alloc_shared(machine, self.params.eager_max, name=f"nic{node}.txb{i}")
+            )
+        #: Receive-side preposted bounce buffers (finite: senders feel
+        #: backpressure through RX head-of-line blocking when the
+        #: receiver falls behind).
+        self.rx_bounce = Channel(engine, name=f"nic{node}.rxb")
+        for i in range(self.params.rx_bounce_count):
+            self.rx_bounce.put(
+                alloc_shared(machine, self.params.eager_max, name=f"nic{node}.rxb{i}")
+            )
+        # Diagnostics
+        self.bytes_tx = 0
+        self.bytes_rx = 0
+        self.requests_tx = 0
+        engine.process(self._tx_run(), name=f"nic{node}.tx", daemon=True)
+        engine.process(self._rx_run(), name=f"nic{node}.rx", daemon=True)
+
+    # ---------------------------------------------------------- submit
+    def build_descriptors(self, segments) -> list[NetDescriptor]:
+        """Split (src_phys, dst_phys, nbytes, execute) segments at the
+        NIC's maximum descriptor size (execute rides the final piece)."""
+        out: list[NetDescriptor] = []
+        limit = self.params.nic_max_desc_bytes
+        for src, dst, nbytes, execute in segments:
+            if nbytes <= 0:
+                raise HardwareError(f"bad NIC segment length {nbytes}")
+            offset = 0
+            while offset < nbytes:
+                piece = min(limit, nbytes - offset)
+                is_last = offset + piece >= nbytes
+                out.append(
+                    NetDescriptor(
+                        nbytes=piece,
+                        execute=execute if is_last else None,
+                        src_phys=src + offset if src >= 0 else -1,
+                        dst_phys=dst + offset if dst >= 0 else -1,
+                    )
+                )
+                offset += piece
+        return out
+
+    def submission_cost(self, request: NicRequest) -> float:
+        """CPU time to post the work request.  One doorbell per request:
+        the NIC segments autonomously, so large messages stay zero-CPU."""
+        return self.params.t_doorbell
+
+    def submit(self, request: NicRequest) -> None:
+        """Enqueue a request (the caller charges
+        :meth:`submission_cost` on its own core)."""
+        if not request.descriptors:
+            raise HardwareError("empty NIC request")
+        if not 0 <= request.dst_node < self.fabric.nnodes:
+            raise HardwareError(f"bad destination node {request.dst_node}")
+        request.src_node = self.node
+        self.requests_tx += 1
+        self._tx_queue.put(request)
+
+    def send_ctrl(self, dst_node: int, on_delivered) -> NicRequest:
+        """Fire a control packet (RTS/CTS/headers) at ``dst_node``."""
+        request = NicRequest(
+            dst_node=dst_node,
+            descriptors=[NetDescriptor(nbytes=self.params.ctrl_bytes)],
+            done=self.engine.event(f"nic{self.node}.ctrl"),
+            on_delivered=on_delivered,
+            kind="ctrl",
+        )
+        self.submit(request)
+        return request
+
+    # ---------------------------------------------------- registration
+    def register(self, core: int, views) -> "Generator":  # noqa: F821
+        """Pin ``views`` and install NIC translation entries (generator,
+        charged on ``core``).  Cached: re-registering is free."""
+        pages = self.regcache.lookup_pages_to_pin(list(views))
+        cost = self.machine.params.t_syscall + pages * self.params.t_reg_page
+        yield from self.charge_cpu(core, cost)
+
+    def charge_cpu(self, core: int, seconds: float):
+        """Burn CPU on one of this node's cores (generator)."""
+        self.machine.papi.add(core, "CPU_BUSY", seconds)
+        yield self.machine.cores[core].busy(seconds)
+
+    # ------------------------------------------------------------ work
+    def _tx_run(self):
+        params = self.params
+        machine = self.machine
+        line = CACHE_LINE
+        while True:
+            request: NicRequest = yield self._tx_queue.get()
+            for desc in request.descriptors:
+                if desc.src_phys >= 0:
+                    # The NIC DMA-reads user memory: dirty lines flush.
+                    l0 = desc.src_phys // line
+                    l1 = l0 + ceil_div(desc.nbytes, line)
+                    flushed = machine.coherence.dma_read(l0, l1)
+                    machine.memory.charge_writebacks(flushed * line)
+                t0 = self.engine.now
+                wire = self.engine.timer(desc.nbytes / params.link_rate)
+                bus = machine.memory.dram_transfer(desc.nbytes)
+                yield AllOf(self.engine, [wire, bus])
+                self.bytes_tx += desc.nbytes
+                if self.engine.tracer.enabled:
+                    self.engine.tracer.emit(
+                        t0,
+                        "nic.tx",
+                        node=self.node,
+                        dst=request.dst_node,
+                        nbytes=desc.nbytes,
+                        req=request.kind,
+                        end=self.engine.now,
+                    )
+                self.fabric.switch.ingress(self.node, request, desc)
+            if not request.ack and not request.done.triggered:
+                # Local completion: the host buffer is reusable.
+                request.done.succeed(self.engine.now)
+
+    def rx(self, request: NicRequest, desc: NetDescriptor) -> None:
+        """Wire-side entry point (called by the switch's last hop)."""
+        self._rx_queue.put((request, desc))
+
+    def _rx_run(self):
+        params = self.params
+        machine = self.machine
+        line = CACHE_LINE
+        while True:
+            request, desc = yield self._rx_queue.get()
+            if desc.dst_phys >= 0:
+                # RDMA write into user memory: cached copies invalidate.
+                l0 = desc.dst_phys // line
+                l1 = l0 + ceil_div(desc.nbytes, line)
+                machine.coherence.dma_write(l0, l1)
+            yield machine.memory.dram_transfer(desc.nbytes)
+            if desc.execute is not None:
+                desc.execute()
+            self.bytes_rx += desc.nbytes
+            if desc is request.descriptors[-1]:
+                yield from self._complete_rx(request)
+
+    def _complete_rx(self, request: NicRequest):
+        params = self.params
+        if request.stage_rx and request.payload_nbytes > 0:
+            # Eager payloads land in a preposted bounce buffer on THIS
+            # node; waiting for a free one models finite prepost depth
+            # (and, via RX head-of-line blocking, sender backpressure).
+            bounce = yield self.rx_bounce.get()
+            view = bounce.view(0, request.payload_nbytes)
+            l0, l1 = self.machine.line_span(view.phys, view.nbytes)
+            self.machine.coherence.dma_write(l0, l1)
+            view.array[:] = request.tx_stage.array
+            request.rx_view = view
+            request.rx_release = lambda b=bounce: self.rx_bounce.put(b)
+            if request.tx_release is not None:
+                request.tx_release()
+        if request.ack:
+            self.engine.schedule(
+                params.ack_latency, request.done.succeed, self.engine.now
+            )
+        if request.on_delivered is not None:
+            self.engine.schedule(params.t_completion, request.on_delivered, request)
+        if self.engine.tracer.enabled:
+            self.engine.tracer.emit(
+                self.engine.now,
+                "nic.rx",
+                node=self.node,
+                src=request.src_node,
+                nbytes=request.nbytes,
+                req=request.kind,
+            )

@@ -1,0 +1,84 @@
+"""A single crossbar switch with configurable egress contention.
+
+Three models, picked by :attr:`repro.net.fabric.FabricParams.contention`:
+
+``"output"``
+    Output-queued crossbar: each egress port drains its own FIFO at
+    ``port_rate``.  Incast (many senders, one receiver) serializes at
+    the victim's port; disjoint pairs don't interact.  The default.
+``"bus"``
+    One shared FIFO for the whole switch — every flow serializes, the
+    internode analogue of the intranode shared-DRAM-bus bottleneck.
+``"ideal"``
+    Latency only, infinite bandwidth inside the switch.  Useful for
+    isolating NIC/protocol costs in experiments.
+
+All three preserve per-(src, dst) descriptor order, which the NIC RX
+side relies on (``desc is request.descriptors[-1]`` detects the tail).
+"""
+
+from __future__ import annotations
+
+from repro.sim.resources import Channel
+
+__all__ = ["Switch"]
+
+
+class Switch:
+    """The fabric's single forwarding element."""
+
+    def __init__(self, engine, nports: int, params) -> None:
+        self.engine = engine
+        self.nports = nports
+        self.params = params
+        self.nics: list = []
+        #: Bytes forwarded out of each egress port (diagnostics).
+        self.port_bytes = [0] * nports
+        if params.contention == "output":
+            self._queues = [
+                Channel(engine, name=f"switch.port{p}") for p in range(nports)
+            ]
+            for port, queue in enumerate(self._queues):
+                engine.process(
+                    self._drain(queue), name=f"switch.port{port}", daemon=True
+                )
+        elif params.contention == "bus":
+            queue = Channel(engine, name="switch.bus")
+            self._queues = [queue] * nports
+            engine.process(self._drain(queue), name="switch.bus", daemon=True)
+        else:  # "ideal"
+            self._queues = None
+
+    def bind(self, nics) -> None:
+        """Attach the ports (one NIC per port); called by the fabric."""
+        self.nics = list(nics)
+
+    # ------------------------------------------------------------ path
+    def ingress(self, src_node: int, request, desc) -> None:
+        """A descriptor left ``src_node``'s NIC onto the wire."""
+        p = self.params
+        # Propagation to the switch + the forwarding decision.
+        self.engine.schedule(
+            p.link_latency + p.switch_latency, self._forward, request, desc
+        )
+
+    def _forward(self, request, desc) -> None:
+        if self._queues is None:
+            # Ideal: no egress serialization, just the last hop.
+            self._deliver(request, desc)
+            return
+        self._queues[request.dst_node].put((request, desc))
+
+    def _drain(self, queue: Channel):
+        rate = self.params.port_rate
+        while True:
+            request, desc = yield queue.get()
+            yield desc.nbytes / rate
+            self._deliver(request, desc)
+
+    def _deliver(self, request, desc) -> None:
+        self.port_bytes[request.dst_node] += desc.nbytes
+        # Propagation on the egress link; the port is free meanwhile.
+        self.engine.schedule(
+            self.params.link_latency, self.nics[request.dst_node].rx, request, desc
+        )

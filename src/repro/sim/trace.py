@@ -8,6 +8,7 @@ writeback burst.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Optional
 
@@ -33,16 +34,21 @@ class Tracer:
     def __init__(self, enabled: bool = False, capacity: Optional[int] = None) -> None:
         self.enabled = enabled
         self.capacity = capacity
-        self.records: list[TraceRecord] = []
+        # A bounded deque makes trimming O(1) per emit; with capacity
+        # None the deque is unbounded, same as a plain list.
+        self._records: deque[TraceRecord] = deque(maxlen=capacity)
         self._subscribers: list[Callable[[TraceRecord], None]] = []
+
+    @property
+    def records(self) -> list[TraceRecord]:
+        """The retained records, oldest first (a fresh list each call)."""
+        return list(self._records)
 
     def emit(self, time: float, kind: str, **fields: Any) -> None:
         if not self.enabled:
             return
         record = TraceRecord(time, kind, fields)
-        self.records.append(record)
-        if self.capacity is not None and len(self.records) > self.capacity:
-            del self.records[: len(self.records) - self.capacity]
+        self._records.append(record)
         for subscriber in self._subscribers:
             subscriber(record)
 
@@ -50,7 +56,7 @@ class Tracer:
         self._subscribers.append(callback)
 
     def of_kind(self, kind: str) -> Iterator[TraceRecord]:
-        return (r for r in self.records if r.kind == kind)
+        return (r for r in self._records if r.kind == kind)
 
     def clear(self) -> None:
-        self.records.clear()
+        self._records.clear()

@@ -1,0 +1,61 @@
+"""Tests for the reporting renderers, including the JSON topology block."""
+
+import json
+
+from repro.bench.harness import Sweep
+from repro.bench.reporting import format_csv, format_json, topology_block
+from repro.hw import cluster_of, xeon_e5345
+from repro.net import FabricParams
+from repro.units import GiB, KiB
+
+
+def _sweep():
+    sweep = Sweep("demo", "size", "MiB/s")
+    a = sweep.new_series("flat")
+    b = sweep.new_series("hier")
+    for x, ya, yb in [(64 * KiB, 100.0, 90.0), (1024 * KiB, 200.0, 400.0)]:
+        a.add(x, ya)
+        b.add(x, yb)
+    return sweep
+
+
+def test_topology_block_single_machine():
+    topo = xeon_e5345()
+    block = topology_block(topo)
+    assert block == {
+        "kind": "machine",
+        "nodes": 1,
+        "cores_per_node": topo.ncores,
+        "node": topo.name,
+    }
+
+
+def test_topology_block_cluster_includes_fabric():
+    spec = cluster_of(xeon_e5345(), 4, fabric=FabricParams(link_rate=2 * GiB))
+    block = topology_block(spec)
+    assert block["kind"] == "cluster"
+    assert block["nodes"] == 4
+    assert block["cores_per_node"] == xeon_e5345().ncores
+    assert block["fabric"]["link_rate"] == 2 * GiB
+    assert block["fabric"]["contention"] == "output"
+    assert block["fabric"]["eager_max"] == FabricParams().eager_max
+
+
+def test_format_json_round_trips():
+    spec = cluster_of(xeon_e5345(), 2)
+    doc = json.loads(format_json(_sweep(), topology=spec))
+    assert doc["title"] == "demo"
+    assert doc["topology"]["nodes"] == 2
+    assert [s["label"] for s in doc["series"]] == ["flat", "hier"]
+    assert doc["series"][1]["points"] == [[64 * KiB, 90.0], [1024 * KiB, 400.0]]
+
+
+def test_format_json_topology_optional():
+    doc = json.loads(format_json(_sweep()))
+    assert "topology" not in doc
+
+
+def test_format_csv_unchanged():
+    out = format_csv(_sweep())
+    assert out.splitlines()[0] == "size,flat,hier"
+    assert out.splitlines()[1] == f"{64 * KiB},100.000,90.000"

@@ -47,7 +47,8 @@ def test_ring_preloads_free_cells():
     machine = Machine(engine, TOPO)
 
     class _W:
-        pass
+        def machine_of(self, rank):
+            return self.machine
 
     world = _W()
     world.engine = engine

@@ -19,6 +19,9 @@ class _FakeWorld:
         self.engine = Engine()
         self.machine = Machine(self.engine, xeon_e5345())
 
+    def machine_of(self, rank):
+        return self.machine
+
 
 @pytest.fixture()
 def endpoint():

@@ -1,0 +1,55 @@
+"""Unit tests for fabric parameters and cluster assembly."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.hw import cluster_of, xeon_e5345
+from repro.net import Cluster, ClusterSpec, FabricParams
+from repro.sim import Engine
+from repro.units import GiB, KiB
+
+TOPO = xeon_e5345()
+
+
+def test_fabric_defaults_are_validated():
+    with pytest.raises(SimulationError):
+        FabricParams(contention="token-ring")
+    with pytest.raises(SimulationError):
+        FabricParams(link_rate=0)
+
+
+def test_scaled_returns_modified_copy():
+    base = FabricParams()
+    fast = base.scaled(link_rate=4 * GiB, eager_max=64 * KiB)
+    assert fast.link_rate == 4 * GiB
+    assert fast.eager_max == 64 * KiB
+    assert base.link_rate == 1.25 * GiB  # original untouched
+    assert fast.link_latency == base.link_latency
+
+
+def test_ack_latency_is_two_hops_plus_forwarding():
+    p = FabricParams()
+    assert p.ack_latency == pytest.approx(2 * p.link_latency + p.switch_latency)
+
+
+def test_cluster_spec_rejects_zero_nodes():
+    with pytest.raises(SimulationError):
+        ClusterSpec(node=TOPO, nnodes=0)
+
+
+def test_cluster_of_preset_builds_spec():
+    spec = cluster_of(TOPO, 4)
+    assert spec.nnodes == 4
+    assert spec.ncores == 4 * TOPO.ncores
+    assert "4x" in spec.describe()
+
+
+def test_cluster_assembles_one_nic_per_node():
+    spec = cluster_of(TOPO, 3)
+    cluster = Cluster(Engine(), spec)
+    assert cluster.nnodes == 3
+    assert len({id(cluster.machine(n)) for n in range(3)}) == 3
+    assert cluster.fabric.nnodes == 3
+    for n in range(3):
+        assert cluster.nic(n) is cluster.fabric.nic(n)
+        assert cluster.nic(n).node == n

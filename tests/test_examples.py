@@ -35,6 +35,7 @@ def test_examples_directory_complete():
         "adaptive_thresholds",
         "async_overlap",
         "stencil_subcomms",
+        "cluster_pingpong",
     } <= names
 
 
@@ -54,6 +55,12 @@ def test_stencil_runs(capsys):
     out = _run_example("stencil_subcomms", capsys)
     assert "ms/iteration" in out
     assert "adaptive" in out
+
+
+def test_cluster_pingpong_runs(capsys):
+    out = _run_example("cluster_pingpong", capsys)
+    assert "internode" in out
+    assert "net-eager" in out and "nic+rdma" in out
 
 
 @pytest.mark.slow
