@@ -14,7 +14,8 @@ import pytest
 from conftest import run_once
 
 from repro.bench.harness import Sweep
-from repro.bench.reporting import format_json
+from repro.bench.reporting import format_json, resilience_block
+from repro.faults import FaultPlan
 from repro.hw import cluster_of
 from repro.mpi import run_cluster, run_mpi
 from repro.mpi.coll.tuning import CollTuning
@@ -156,3 +157,40 @@ def test_hier_allreduce_node_scaling(benchmark, topo):
     print(f"\n hier gain: 2 nodes {gain2:.2f}x, 4 nodes {gain4:.2f}x")
     assert gain2 > 1 and gain4 > 1
     assert gain4 > gain2
+
+
+def test_fault_sweep_pingpong(benchmark, topo):
+    """Pingpong under a seeded drop-rate sweep: every run completes with
+    correct data, losses surface as retransmits and latency (never as
+    hangs), and the JSON document carries the resilience block."""
+    spec = cluster_of(topo, 2)
+    rates = [0.0, 0.05, 0.1]
+
+    def run():
+        sweep = Sweep("fault sweep pingpong", "drop rate", "one-way us")
+        series = sweep.new_series("256KiB")
+        runs = {}
+        for drop in rates:
+            r = run_cluster(
+                spec,
+                2,
+                _pingpong(256 * KiB),
+                procs_per_node=1,
+                faults=FaultPlan(seed=42, drop=drop),
+            )
+            series.add(drop, r.results[0] * 1e6)
+            runs[drop] = r
+        return sweep, runs
+
+    sweep, runs = run_once(benchmark, run)
+    lossy = runs[rates[-1]]
+    res = resilience_block(lossy.fabric, policy=lossy.world.policy)
+    doc = json.loads(format_json(sweep, topology=spec, resilience=res))
+    print("\n", format_json(sweep, topology=spec, resilience=res))
+    assert doc["resilience"]["retransmits"] > 0
+    assert doc["resilience"]["injected"]["drops_injected"] > 0
+    assert doc["resilience"]["retries_exhausted"] == 0
+    clean = runs[0.0]
+    assert sum(n.retransmits for n in clean.fabric.nics) == 0
+    series = sweep.get("256KiB")
+    assert series.y_at(rates[-1]) > series.y_at(0.0)  # losses cost time

@@ -29,6 +29,7 @@ generators).
 """
 
 from repro.core.policy import ClusterLmtPolicy, LmtConfig, LmtPolicy, MODES
+from repro.faults import FaultPlan, FaultState, LinkFault, LinkWindow
 from repro.hw.machine import Machine
 from repro.hw.params import HwParams
 from repro.hw.presets import cluster_of, nehalem8, xeon_e5345, xeon_x5460
@@ -50,6 +51,10 @@ __all__ = [
     "ClusterSpec",
     "ClusterLmtPolicy",
     "FabricParams",
+    "FaultPlan",
+    "FaultState",
+    "LinkFault",
+    "LinkWindow",
     "cluster_of",
     "Communicator",
     "ANY_SOURCE",

@@ -19,6 +19,7 @@ __all__ = [
     "format_csv",
     "format_json",
     "topology_block",
+    "resilience_block",
 ]
 
 
@@ -101,8 +102,47 @@ def topology_block(spec) -> dict:
     }
 
 
-def format_json(sweep: Sweep, topology=None, indent: Optional[int] = 2) -> str:
-    """Serialize a sweep (plus the host description) as JSON."""
+def resilience_block(fabric, policy=None) -> dict:
+    """Summarize a run's fault/recovery activity for stored results.
+
+    Sums the per-NIC reliability counters of ``fabric`` (duck-typed:
+    anything with ``nics`` works), folds in the armed fault state's
+    injection counters, and — when ``policy`` is given — the structured
+    LMT downgrade events."""
+    nics = list(getattr(fabric, "nics", []))
+    block: dict = {
+        "retransmits": sum(n.retransmits for n in nics),
+        "rx_duplicates": sum(n.rx_duplicates for n in nics),
+        "rx_corrupt_discards": sum(n.rx_corrupt_discards for n in nics),
+        "rx_incomplete_discards": sum(n.rx_incomplete_discards for n in nics),
+        "retries_exhausted": sum(n.retries_exhausted for n in nics),
+        "backoff_seconds": sum(n.backoff_seconds for n in nics),
+        "per_nic": [
+            {
+                "node": n.node,
+                "retransmits": n.retransmits,
+                "rx_duplicates": n.rx_duplicates,
+                "rx_corrupt_discards": n.rx_corrupt_discards,
+                "rx_incomplete_discards": n.rx_incomplete_discards,
+                "retries_exhausted": n.retries_exhausted,
+                "backoff_seconds": n.backoff_seconds,
+            }
+            for n in nics
+        ],
+    }
+    faults = getattr(fabric, "faults", None)
+    if faults is not None:
+        block["injected"] = faults.counters()
+    if policy is not None:
+        block["downgrades"] = [dict(d) for d in getattr(policy, "downgrades", [])]
+    return block
+
+
+def format_json(
+    sweep: Sweep, topology=None, resilience=None, indent: Optional[int] = 2
+) -> str:
+    """Serialize a sweep (plus the host description and, optionally, a
+    :func:`resilience_block`) as JSON."""
     doc: dict = {
         "title": sweep.title,
         "xlabel": sweep.xlabel,
@@ -110,6 +150,8 @@ def format_json(sweep: Sweep, topology=None, indent: Optional[int] = 2) -> str:
     }
     if topology is not None:
         doc["topology"] = topology_block(topology)
+    if resilience is not None:
+        doc["resilience"] = resilience
     doc["series"] = [
         {"label": s.label, "points": [[x, y] for x, y in s.points]}
         for s in sweep.series

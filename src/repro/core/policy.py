@@ -89,11 +89,24 @@ class LmtConfig:
 
 
 class LmtPolicy:
-    """Per-message strategy selection for one run."""
+    """Per-message strategy selection for one run.
 
-    def __init__(self, topo: TopologySpec, config: LmtConfig) -> None:
+    ``capabilities`` (anything with ``node_allows(node, cap) -> bool``,
+    normally a :class:`repro.faults.FaultState`) arms graceful
+    degradation: a mode that asks for a kernel module the node doesn't
+    have falls down the chain KNEM -> vmsplice -> shm double-buffering,
+    logging one structured downgrade event per communicating pair.
+    """
+
+    def __init__(
+        self, topo: TopologySpec, config: LmtConfig, capabilities=None
+    ) -> None:
         self.topo = topo
         self.config = config
+        self.capabilities = capabilities
+        #: Structured downgrade events (dicts), one per (pair, from, to).
+        self.downgrades: list[dict] = []
+        self._downgrade_keys: set = set()
         self._backends: dict[str, LmtBackend] = {}
         for backend in (
             ShmLmt(),
@@ -135,6 +148,76 @@ class LmtPolicy:
             base //= hint
         return base
 
+    # ------------------------------------------------------- degradation
+    def note_downgrade(
+        self,
+        pair,
+        from_name: str,
+        to_name: str,
+        reason: str,
+        tracer=None,
+        now: float = 0.0,
+    ) -> None:
+        """Record one structured downgrade event (deduped per unordered
+        pair and transition, so steady-state traffic — e.g. both legs of
+        a pingpong — doesn't spam the log)."""
+        key = (tuple(sorted(pair)) if isinstance(pair, tuple) else pair,
+               from_name, to_name)
+        if key in self._downgrade_keys:
+            return
+        self._downgrade_keys.add(key)
+        self.downgrades.append(
+            {
+                "pair": pair,
+                "from": from_name,
+                "to": to_name,
+                "reason": reason,
+                "t": now,
+            }
+        )
+        if tracer is not None and tracer.enabled:
+            tracer.emit(
+                now,
+                "policy.downgrade",
+                pair=pair,
+                frm=from_name,
+                to=to_name,
+                reason=reason,
+            )
+
+    def _degrade(
+        self, backend: LmtBackend, node: int, pair, tracer, now: float
+    ) -> LmtBackend:
+        """Walk the chain KNEM -> vmsplice -> shm until the node's
+        capability mask admits the backend."""
+        caps = self.capabilities
+        if caps is None:
+            return backend
+        name = backend.name
+        missing = None
+        while True:
+            if name.startswith("knem"):
+                if caps.node_allows(node, "knem"):
+                    break
+                missing, name = "knem", "vmsplice"
+            elif name.startswith("vmsplice"):
+                if caps.node_allows(node, "vmsplice"):
+                    break
+                missing, name = "vmsplice", "shm"
+            else:
+                break  # shm needs nothing beyond POSIX shared memory
+        if name == backend.name:
+            return backend
+        self.note_downgrade(
+            pair,
+            backend.name,
+            name,
+            f"node {node} lacks {missing}",
+            tracer=tracer,
+            now=now,
+        )
+        return self._backends[name]
+
     # ---------------------------------------------------------- selection
     def select(
         self,
@@ -143,8 +226,24 @@ class LmtPolicy:
         recv_core: int,
         cache_sharers: int = 1,
         hint: int = 1,
+        node: int = 0,
+        pair=None,
+        tracer=None,
+        now: float = 0.0,
     ) -> LmtBackend:
-        """Pick the backend for one rendezvous transfer."""
+        """Pick the backend for one rendezvous transfer, degrading to
+        what the node's capability mask actually supports."""
+        backend = self._select_mode(nbytes, send_core, recv_core, cache_sharers, hint)
+        return self._degrade(backend, node, pair, tracer, now)
+
+    def _select_mode(
+        self,
+        nbytes: int,
+        send_core: int,
+        recv_core: int,
+        cache_sharers: int,
+        hint: int,
+    ) -> LmtBackend:
         mode = self.config.mode
         if mode == "default":
             return self._backends["shm"]
@@ -183,25 +282,50 @@ class ClusterLmtPolicy(LmtPolicy):
 
     Intranode pairs keep the exact mode-driven selection of the base
     class; internode pairs switch at :attr:`net_eager_max` between the
-    bounce-buffer eager path and the NIC RDMA rendezvous backend.
+    bounce-buffer eager path and the NIC RDMA rendezvous backend.  A
+    node whose capability mask denies ``rdma-reg`` (NIC memory
+    registration) degrades to the staged bounce-buffer rendezvous.
     """
 
-    def __init__(self, topo: TopologySpec, config: LmtConfig, fabric_params) -> None:
-        super().__init__(topo, config)
+    def __init__(
+        self, topo: TopologySpec, config: LmtConfig, fabric_params, capabilities=None
+    ) -> None:
+        super().__init__(topo, config, capabilities=capabilities)
         # Imported here so single-node runs never load the net layer.
-        from repro.net.lmt import NicRdmaLmt
+        from repro.net.lmt import NicRdmaLmt, NicStagedLmt
 
         self.fabric = fabric_params
-        rdma = NicRdmaLmt()
-        self._backends[rdma.name] = rdma
+        for backend in (NicRdmaLmt(), NicStagedLmt()):
+            self._backends[backend.name] = backend
 
     @property
     def net_eager_max(self) -> int:
         """Internode eager/rendezvous switch (wire-protocol threshold)."""
         return self.fabric.eager_max
 
-    def select_internode(self, nbytes: int) -> LmtBackend:
+    def select_internode(
+        self,
+        nbytes: int,
+        src_node: int = 0,
+        dst_node: int = 0,
+        pair=None,
+        tracer=None,
+        now: float = 0.0,
+    ) -> LmtBackend:
         """Pick the rendezvous backend for an internode transfer."""
+        caps = self.capabilities
+        if caps is not None:
+            for node in (src_node, dst_node):
+                if not caps.node_allows(node, "rdma-reg"):
+                    self.note_downgrade(
+                        pair,
+                        "nic+rdma",
+                        "nic+staged",
+                        f"node {node} lacks rdma-reg",
+                        tracer=tracer,
+                        now=now,
+                    )
+                    return self._backends["nic+staged"]
         return self._backends["nic+rdma"]
 
 

@@ -11,7 +11,11 @@ __all__ = [
     "ReproError",
     "SimulationError",
     "DeadlockError",
+    "LivelockError",
     "HardwareError",
+    "NetworkError",
+    "RegistrationError",
+    "RetryExhaustedError",
     "KernelError",
     "BadAddressError",
     "PipeError",
@@ -48,8 +52,48 @@ class DeadlockError(SimulationError):
         )
 
 
+class LivelockError(SimulationError):
+    """The progress watchdog tripped: the simulation kept scheduling
+    events without converging (event-count or sim-time budget exceeded).
+
+    Carries the budget that tripped and per-process last-progress
+    timestamps so a diverging retry loop is diagnosable: the stalest
+    process is almost always the one whose completion never arrives.
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        events: int,
+        now: float,
+        progress: dict[str, float] | None = None,
+    ):
+        self.reason = reason
+        self.events = events
+        self.now = now
+        self.progress = dict(progress or {})
+        stalest = sorted(self.progress.items(), key=lambda kv: kv[1])
+        detail = ", ".join(f"{name}@{t:.6g}s" for name, t in stalest[:8])
+        super().__init__(
+            f"simulation livelocked ({reason}) after {events} events at "
+            f"t={now:.6g}s; last progress: {detail or 'no live processes'}"
+        )
+
+
 class HardwareError(ReproError):
     """Errors in the hardware model (bad topology, cache misuse...)."""
+
+
+class NetworkError(ReproError):
+    """Errors in the simulated internode fabric."""
+
+
+class RegistrationError(NetworkError):
+    """NIC memory registration (pin + translation entry) failed."""
+
+
+class RetryExhaustedError(NetworkError):
+    """A reliable NIC request ran out of its retransmission budget."""
 
 
 class KernelError(ReproError):

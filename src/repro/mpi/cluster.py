@@ -112,7 +112,29 @@ class ClusterWorld(MpiWorld):
     def select_backend(self, nbytes: int, src_rank: int, dst_rank: int):
         if self.same_node(src_rank, dst_rank):
             return super().select_backend(nbytes, src_rank, dst_rank)
-        return self.policy.select_internode(nbytes)
+        return self.policy.select_internode(
+            nbytes,
+            src_node=self.node_of(src_rank),
+            dst_node=self.node_of(dst_rank),
+            pair=(src_rank, dst_rank),
+            tracer=self.engine.tracer,
+            now=self.engine.now,
+        )
+
+    def fallback_backend(self, backend, src_rank: int, dst_rank: int):
+        """After a runtime registration failure, the internode
+        rendezvous degrades to the registration-free staged pipeline."""
+        if backend.name == "nic+rdma":
+            self.policy.note_downgrade(
+                (src_rank, dst_rank),
+                backend.name,
+                "nic+staged",
+                "NIC memory registration failed",
+                tracer=self.engine.tracer,
+                now=self.engine.now,
+            )
+            return self.policy.backend("nic+staged")
+        return None
 
 
 @dataclass
@@ -139,6 +161,7 @@ def run_cluster(
     trace: bool = False,
     coll_tuning: Optional[CollTuning] = None,
     noise=None,
+    faults=None,
 ) -> ClusterRunResult:
     """Run ``main(ctx)`` on ``nprocs`` ranks spread over a cluster.
 
@@ -147,6 +170,10 @@ def run_cluster(
     ``procs_per_node`` ranks on node 0's cores ``0..``, the next batch
     on node 1, and so on.  ``mode``/``config`` pick the *intranode* LMT
     strategy; internode pairs always use the fabric's wire protocol.
+
+    ``faults`` (a :class:`repro.faults.FaultPlan`) arms the fault model:
+    wire-level drop/corrupt/flap plus the NICs' reliable delivery, and
+    the capability-mask-driven LMT degradation chains.
     """
     if main is None:
         raise MpiError("run_cluster needs a main(ctx) generator function")
@@ -162,8 +189,13 @@ def run_cluster(
     elif nprocs is None:
         nprocs = len(bindings)
     engine = Engine(trace=trace)
-    cluster = Cluster(engine, spec)
-    policy = ClusterLmtPolicy(spec.node, config or LmtConfig(mode=mode), spec.fabric)
+    cluster = Cluster(engine, spec, faults=faults, noise=noise)
+    policy = ClusterLmtPolicy(
+        spec.node,
+        config or LmtConfig(mode=mode),
+        spec.fabric,
+        capabilities=cluster.fabric.faults,
+    )
     world = ClusterWorld(
         engine,
         cluster,

@@ -16,7 +16,7 @@ import struct
 from typing import Optional, Sequence
 
 from repro.core.lmt import TransferSide
-from repro.errors import MpiError, RankError, TruncationError
+from repro.errors import MpiError, RankError, RegistrationError, TruncationError
 from repro.kernel.address_space import BufferView, total_bytes
 from repro.kernel.copy import cpu_copy
 from repro.mpi.datatypes import BufLike, as_views
@@ -227,7 +227,17 @@ class Communicator:
         )
         world.note_lmt_start()
         try:
-            info = yield from backend.sender_start(side)
+            try:
+                info = yield from backend.sender_start(side)
+            except RegistrationError:
+                # e.g. an injected NIC registration failure: retry on
+                # the world's fallback (registration-free) backend.
+                fallback = world.fallback_backend(backend, self.world_rank, dest_world)
+                if fallback is None:
+                    raise
+                backend = fallback
+                side.scratch.clear()
+                info = yield from backend.sender_start(side)
             world.deliver(
                 self.world_rank,
                 dest_world,
@@ -242,6 +252,11 @@ class Communicator:
                 ),
             )
             cts_info = yield waiters["cts"]
+            # The receiver may have downgraded (its own registration
+            # failed); the CTS then names the backend both sides use.
+            switched = cts_info.pop("backend", None)
+            if switched is not None and switched != backend.name:
+                backend = world.policy.backend(switched)
             yield from backend.sender_on_cts(side, cts_info)
             if backend.receiver_sends_done:
                 yield waiters["done"]
@@ -354,7 +369,20 @@ class Communicator:
                 pkt.nbytes,
                 pkt.txn,
             )
-            cts_info = yield from backend.receiver_prepare(side, pkt.info)
+            try:
+                cts_info = yield from backend.receiver_prepare(side, pkt.info)
+            except RegistrationError:
+                fallback = self.world.fallback_backend(
+                    backend, pkt.src, self.world_rank
+                )
+                if fallback is None:
+                    raise
+                backend = fallback
+                side.scratch.clear()
+                cts_info = yield from backend.receiver_prepare(side, pkt.info)
+                # Tell the sender which backend actually runs.
+                cts_info = dict(cts_info)
+                cts_info["backend"] = backend.name
             self.world.deliver(
                 self.world_rank, pkt.src, CtsPacket(txn=pkt.txn, info=cts_info)
             )

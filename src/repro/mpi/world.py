@@ -134,7 +134,17 @@ class MpiWorld:
             self.core_of(dst_rank),
             cache_sharers=self.cache_sharers(dst_rank),
             hint=self.lmt_hint,
+            node=self.node_of(dst_rank),
+            pair=(src_rank, dst_rank),
+            tracer=self.engine.tracer,
+            now=self.engine.now,
         )
+
+    def fallback_backend(self, backend, src_rank: int, dst_rank: int):
+        """Next backend to try after ``backend`` failed at runtime (e.g.
+        an injected NIC registration failure).  None means give up and
+        let the error propagate."""
+        return None
 
     def new_txn(self) -> int:
         return next(self._txn_counter)
@@ -309,6 +319,7 @@ def run_mpi(
     trace: bool = False,
     coll_tuning: Optional[CollTuning] = None,
     noise=None,
+    faults=None,
 ) -> MpiRunResult:
     """Run ``main(ctx)`` on ``nprocs`` simulated ranks.
 
@@ -323,10 +334,20 @@ def run_mpi(
         Core per rank; defaults to ranks on cores ``0..nprocs-1``.
     mode / config:
         LMT strategy — a mode name, or a full :class:`LmtConfig`.
+    faults:
+        A :class:`repro.faults.FaultPlan` (or prebuilt ``FaultState``).
+        On a single node only the capability masks matter: a rank pair
+        whose node lacks ``knem``/``vmsplice`` transparently degrades
+        down the LMT chain.
     """
     engine = Engine(trace=trace)
     machine = Machine(engine, topo)
-    policy = LmtPolicy(topo, config or LmtConfig(mode=mode))
+    capabilities = None
+    if faults is not None:
+        from repro.faults import FaultState
+
+        capabilities = faults if isinstance(faults, FaultState) else FaultState(faults)
+    policy = LmtPolicy(topo, config or LmtConfig(mode=mode), capabilities=capabilities)
     world = MpiWorld(
         engine,
         machine,

@@ -25,6 +25,7 @@ hardware model —
 
 from repro.net.cluster import Cluster
 from repro.net.fabric import ClusterSpec, Fabric, FabricParams
+from repro.net.lmt import NicRdmaLmt, NicStagedLmt
 from repro.net.nic import NetDescriptor, Nic, NicRequest
 from repro.net.protocol import NetEagerPacket
 from repro.net.switch import Switch
@@ -36,7 +37,9 @@ __all__ = [
     "FabricParams",
     "NetDescriptor",
     "Nic",
+    "NicRdmaLmt",
     "NicRequest",
+    "NicStagedLmt",
     "NetEagerPacket",
     "Switch",
 ]

@@ -11,11 +11,11 @@ __all__ = ["Cluster"]
 class Cluster:
     """Identical nodes, one NIC each, a single switch between them."""
 
-    def __init__(self, engine, spec: ClusterSpec) -> None:
+    def __init__(self, engine, spec: ClusterSpec, faults=None, noise=None) -> None:
         self.engine = engine
         self.spec = spec
         self.machines = [Machine(engine, spec.node) for _ in range(spec.nnodes)]
-        self.fabric = Fabric(engine, self.machines, spec.fabric)
+        self.fabric = Fabric(engine, self.machines, spec.fabric, faults=faults, noise=noise)
 
     @property
     def nnodes(self) -> int:

@@ -73,6 +73,15 @@ class FabricParams:
     #: Receive-side preposted bounce buffers per NIC.
     rx_bounce_count: int = 16
 
+    #: Reliable-delivery knobs (active when a fault plan is armed).
+    #: The retransmission timer for a request is
+    #: ``rto_min + rto_factor * serialization_time``, doubled per retry
+    #: (exponential backoff) up to ``max_retries`` attempts, after which
+    #: the request fails with :class:`repro.errors.RetryExhaustedError`.
+    rto_min: float = 50e-6
+    rto_factor: float = 4.0
+    max_retries: int = 8
+
     def __post_init__(self) -> None:
         if self.contention not in _CONTENTION_MODES:
             raise SimulationError(
@@ -81,6 +90,10 @@ class FabricParams:
             )
         if self.link_rate <= 0 or self.port_rate <= 0:
             raise SimulationError("fabric rates must be positive")
+        if self.max_retries < 0:
+            raise SimulationError("max_retries must be >= 0")
+        if self.rto_min <= 0 or self.rto_factor < 0:
+            raise SimulationError("retransmission timer knobs must be positive")
 
     @property
     def ack_latency(self) -> float:
@@ -121,20 +134,48 @@ class ClusterSpec:
 
 
 class Fabric:
-    """The assembled interconnect: one switch + one NIC per machine."""
+    """The assembled interconnect: one switch + one NIC per machine.
 
-    def __init__(self, engine, machines, params: FabricParams) -> None:
+    ``faults`` (a :class:`repro.faults.FaultPlan` or pre-built
+    :class:`~repro.faults.FaultState`) arms the fault model and the
+    NICs' reliable-delivery machinery; ``noise`` (a
+    :class:`repro.sim.noise.NoiseModel`) jitters the NIC wire/service
+    times so retry timers across nodes don't fire in lockstep.  Both
+    default to off, leaving timings bit-identical to a bare fabric.
+    """
+
+    def __init__(
+        self, engine, machines, params: FabricParams, faults=None, noise=None
+    ) -> None:
         from repro.net.nic import Nic
         from repro.net.switch import Switch
 
         self.engine = engine
         self.params = params
-        self.switch = Switch(engine, len(machines), params)
+        self.faults = self._fault_state(faults)
+        self.noise = noise
+        self.switch = Switch(engine, len(machines), params, faults=self.faults)
         self.nics = [
             Nic(engine, machine, node, self)
             for node, machine in enumerate(machines)
         ]
         self.switch.bind(self.nics)
+
+    @staticmethod
+    def _fault_state(faults):
+        if faults is None:
+            return None
+        from repro.faults import FaultState
+
+        if isinstance(faults, FaultState):
+            return faults
+        return FaultState(faults)
+
+    def jitter(self, duration: float) -> float:
+        """Apply the fabric's noise model to a wire/service time."""
+        if self.noise is None:
+            return duration
+        return self.noise.jitter(duration)
 
     def nic(self, node: int) -> "Nic":  # noqa: F821
         return self.nics[node]

@@ -12,15 +12,23 @@ Because it subclasses :class:`repro.core.lmt.LmtBackend`, internode
 transfers ride the exact same communicator rendezvous code path as the
 intranode LMTs; only :meth:`repro.mpi.world.MpiWorld.select_backend`
 differs.
+
+:class:`NicStagedLmt` is the degraded sibling: when NIC memory
+registration fails (injected by a fault plan, or simply unavailable),
+the rendezvous falls back to pipelining ``eager_max``-sized chunks
+through the NICs' bounce pools — the wire analogue of the intranode
+shared-memory double-buffering copy, trading two CPU copies per chunk
+for needing no pinned memory at all.
 """
 
 from __future__ import annotations
 
 from repro.core.lmt import LmtBackend, TransferSide
-from repro.kernel.copy import iter_lockstep
+from repro.kernel.copy import cpu_copy, iter_lockstep
 from repro.net.nic import NetDescriptor, NicRequest
+from repro.sim.resources import Channel
 
-__all__ = ["NicRdmaLmt"]
+__all__ = ["NicRdmaLmt", "NicStagedLmt"]
 
 
 class NicRdmaLmt(LmtBackend):
@@ -85,3 +93,101 @@ class NicRdmaLmt(LmtBackend):
         # receiver just waits for the completion notification.
         yield side.scratch["arrival"]
         return self.name
+
+
+def _slice_iovec(views, offset: int, nbytes: int):
+    """Sub-views covering ``[offset, offset + nbytes)`` of an iovec."""
+    out = []
+    for view in views:
+        if offset >= view.nbytes:
+            offset -= view.nbytes
+            continue
+        n = min(nbytes, view.nbytes - offset)
+        out.append(view.sub(offset, n))
+        nbytes -= n
+        offset = 0
+        if nbytes <= 0:
+            break
+    return out
+
+
+class NicStagedLmt(LmtBackend):
+    """Registration-free rendezvous: pipeline chunks through the bounce
+    pools (internode twin of the intranode shm double-buffering copy).
+
+    The sender copies each ``eager_max``-sized chunk into a TX bounce
+    buffer and posts it; the receive NIC stages it into a preposted RX
+    bounce buffer and the receiver copies it out.  Finite bounce pools
+    on both sides give the classic double-buffering overlap (copy chunk
+    ``k`` while chunk ``k-1`` is on the wire) and natural backpressure.
+    Each chunk carries its own destination offset, so a retransmitted
+    chunk overtaken by its successors still lands in the right place.
+    """
+
+    name = "nic+staged"
+    receiver_sends_done = True  # the receiver drains the last chunk
+
+    # ------------------------------------------------------------ sender
+    def sender_start(self, side: TransferSide):
+        nic = side.world.nic_of(side.rank)
+        # No registration: this path exists for when register() can't.
+        yield from nic.charge_cpu(side.core, nic.params.t_doorbell)
+        return {}
+
+    def sender_on_cts(self, side: TransferSide, cts_info: dict):
+        nic = side.world.nic_of(side.rank)
+        engine = side.engine
+        chunks: Channel = cts_info["chunks"]
+        dst_node = cts_info["node"]
+        offset = 0
+        for piece in _iovec_pieces(side.views, nic.params.eager_max):
+            bounce = yield nic.tx_bounce.get()
+            stage = bounce.view(0, piece.nbytes)
+            yield from cpu_copy(nic.machine, side.core, [stage], [piece])
+            request = NicRequest(
+                dst_node=dst_node,
+                descriptors=nic.build_descriptors(
+                    [(stage.phys, -1, piece.nbytes, None)]
+                ),
+                done=engine.event(f"staged.txn{side.txn}+{offset}"),
+                stage_rx=True,
+                payload_nbytes=piece.nbytes,
+                tx_stage=stage,
+                tx_release=(lambda b=bounce: nic.tx_bounce.put(b)),
+                on_delivered=(lambda req, off=offset: chunks.put((off, req))),
+                kind="staged",
+            )
+            yield from nic.charge_cpu(side.core, nic.submission_cost(request))
+            nic.submit(request)
+            offset += piece.nbytes
+        # Completion is the receiver's DONE (receiver_sends_done): the
+        # last TX bounce is only recycled once its bytes were staged.
+
+    # ---------------------------------------------------------- receiver
+    def receiver_prepare(self, side: TransferSide, rts_info: dict):
+        yield from ()
+        chunks = Channel(side.engine, name=f"staged.txn{side.txn}")
+        side.scratch["chunks"] = chunks
+        return {"chunks": chunks, "node": side.world.node_of(side.rank)}
+
+    def receiver_transfer(self, side: TransferSide, rts_info: dict):
+        machine = side.machine
+        remaining = side.nbytes
+        chunks: Channel = side.scratch["chunks"]
+        while remaining > 0:
+            offset, request = yield chunks.get()
+            dsts = _slice_iovec(side.views, offset, request.payload_nbytes)
+            yield from cpu_copy(machine, side.core, dsts, [request.rx_view])
+            request.rx_release()
+            remaining -= request.payload_nbytes
+        return self.name
+
+
+def _iovec_pieces(views, chunk: int):
+    """Walk an iovec in pieces of at most ``chunk`` bytes."""
+    for view in views:
+        offset = 0
+        while offset < view.nbytes:
+            n = min(chunk, view.nbytes - offset)
+            yield view.sub(offset, n)
+            offset += n

@@ -18,14 +18,27 @@ Memory registration reuses :class:`repro.kernel.regcache.RegistrationCache`
 per NIC: first touch of a buffer pays a per-page pin + translation-entry
 cost, repeats are free — the InfiniBand-style pin-down cache whose
 break-even sets the eager/rendezvous crossover.
+
+**Reliable delivery.**  When the fabric carries a fault plan (see
+:mod:`repro.faults`), every request is sequence-numbered and covered by
+a retransmission timer: the receiving NIC acks a complete, uncorrupted
+delivery; a sender whose timer fires re-posts the whole request with
+exponential backoff, up to ``FabricParams.max_retries`` attempts, then
+fails the request with :class:`repro.errors.RetryExhaustedError` — a
+loud error at the MPI layer instead of a silent hang.  Duplicate
+deliveries (a spurious timeout racing the ack) are detected at the
+receiver and discarded, and with a zero-rate plan the machinery is
+perfectly transparent: timers arm and cancel without ever adding a
+simulated event.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from itertools import count
 from typing import Callable, Optional
 
-from repro.errors import HardwareError
+from repro.errors import HardwareError, RegistrationError, RetryExhaustedError
 from repro.kernel.address_space import BufferView, alloc_shared
 from repro.kernel.regcache import RegistrationCache
 from repro.sim.events import AllOf, Event
@@ -77,6 +90,25 @@ class NicRequest:
     # Filled by the receive-side staging (eager path).
     rx_view: Optional[BufferView] = None
     rx_release: Optional[Callable[[], None]] = None
+    # Reliable-delivery state (used when the fabric has a fault plan).
+    seq: int = 0
+    retries: int = 0
+    #: Set once by the receiving NIC when the full request landed clean;
+    #: later (retransmitted) deliveries of the same request are
+    #: duplicates and are discarded.
+    delivered: bool = False
+    #: A descriptor of the in-flight transmission arrived corrupted; the
+    #: whole delivery is discarded at the tail (the retransmission
+    #: carries clean bytes).
+    rx_corrupt: bool = False
+    #: Which transmission attempt the receiver is currently assembling,
+    #: and how many of its descriptors have landed — a tail whose
+    #: attempt is missing descriptors (drops upstream) must NOT
+    #: complete, or the payload would silently carry a hole.
+    rx_attempt: int = -1
+    rx_count: int = 0
+    rto_handle: object = None
+    rto_value: float = 0.0
 
     @property
     def nbytes(self) -> int:
@@ -114,8 +146,22 @@ class Nic:
         self.bytes_tx = 0
         self.bytes_rx = 0
         self.requests_tx = 0
+        # Resilience counters (flow into bench.reporting.resilience_block).
+        self.retransmits = 0
+        self.rx_duplicates = 0
+        self.rx_corrupt_discards = 0
+        self.rx_incomplete_discards = 0
+        self.retries_exhausted = 0
+        self.backoff_seconds = 0.0
+        self._seq = count(1)
         engine.process(self._tx_run(), name=f"nic{node}.tx", daemon=True)
         engine.process(self._rx_run(), name=f"nic{node}.rx", daemon=True)
+
+    @property
+    def _reliable(self) -> bool:
+        """Reliable delivery is armed whenever a fault plan is present
+        (even a zero-rate one — which must stay timing-transparent)."""
+        return self.fabric.faults is not None
 
     # ---------------------------------------------------------- submit
     def build_descriptors(self, segments) -> list[NetDescriptor]:
@@ -154,6 +200,7 @@ class Nic:
         if not 0 <= request.dst_node < self.fabric.nnodes:
             raise HardwareError(f"bad destination node {request.dst_node}")
         request.src_node = self.node
+        request.seq = next(self._seq)
         self.requests_tx += 1
         self._tx_queue.put(request)
 
@@ -172,7 +219,20 @@ class Nic:
     # ---------------------------------------------------- registration
     def register(self, core: int, views) -> "Generator":  # noqa: F821
         """Pin ``views`` and install NIC translation entries (generator,
-        charged on ``core``).  Cached: re-registering is free."""
+        charged on ``core``).  Cached: re-registering is free.
+
+        Raises :class:`RegistrationError` when the fault plan injects a
+        registration failure on this node — the caller is expected to
+        downgrade to a path that needs no registration (internode
+        rendezvous falls back to the staged bounce-buffer pipeline).
+        """
+        faults = self.fabric.faults
+        if faults is not None and faults.take_reg_failure(self.node):
+            # The failed attempt still pays the syscall before erroring.
+            yield from self.charge_cpu(core, self.machine.params.t_syscall)
+            raise RegistrationError(
+                f"node {self.node}: NIC memory registration failed (injected)"
+            )
         pages = self.regcache.lookup_pages_to_pin(list(views))
         cost = self.machine.params.t_syscall + pages * self.params.t_reg_page
         yield from self.charge_cpu(core, cost)
@@ -183,12 +243,25 @@ class Nic:
         yield self.machine.cores[core].busy(seconds)
 
     # ------------------------------------------------------------ work
+    def _wire_time(self, request: NicRequest, desc: NetDescriptor) -> float:
+        """Serialization time of one descriptor on the host link, under
+        the fault plan's degradation windows and the fabric's noise."""
+        seconds = desc.nbytes / self.params.link_rate
+        faults = self.fabric.faults
+        if faults is not None:
+            seconds *= faults.degrade_factor(
+                self.node, request.dst_node, self.engine.now
+            )
+        return self.fabric.jitter(seconds)
+
     def _tx_run(self):
-        params = self.params
         machine = self.machine
         line = CACHE_LINE
         while True:
             request: NicRequest = yield self._tx_queue.get()
+            if request.delivered:
+                # A queued retransmission made obsolete by a late ack.
+                continue
             for desc in request.descriptors:
                 if desc.src_phys >= 0:
                     # The NIC DMA-reads user memory: dirty lines flush.
@@ -197,7 +270,7 @@ class Nic:
                     flushed = machine.coherence.dma_read(l0, l1)
                     machine.memory.charge_writebacks(flushed * line)
                 t0 = self.engine.now
-                wire = self.engine.timer(desc.nbytes / params.link_rate)
+                wire = self.engine.timer(self._wire_time(request, desc))
                 bus = machine.memory.dram_transfer(desc.nbytes)
                 yield AllOf(self.engine, [wire, bus])
                 self.bytes_tx += desc.nbytes
@@ -211,35 +284,159 @@ class Nic:
                         req=request.kind,
                         end=self.engine.now,
                     )
-                self.fabric.switch.ingress(self.node, request, desc)
+                self.fabric.switch.ingress(self.node, request, desc, request.retries)
+            if self._reliable and not request.delivered:
+                self._arm_rto(request)
             if not request.ack and not request.done.triggered:
                 # Local completion: the host buffer is reusable.
                 request.done.succeed(self.engine.now)
 
-    def rx(self, request: NicRequest, desc: NetDescriptor) -> None:
+    # ----------------------------------------------------- reliability
+    def _rto_for(self, request: NicRequest) -> float:
+        """Retransmission timeout: a latency floor plus a serialization
+        allowance, doubled per retry (exponential backoff)."""
+        p = self.params
+        rto = p.rto_min + p.rto_factor * request.nbytes / p.link_rate
+        return self.fabric.jitter(rto * (1 << request.retries))
+
+    def _arm_rto(self, request: NicRequest) -> None:
+        rto = self._rto_for(request)
+        request.rto_value = rto
+        request.rto_handle = self.engine.schedule(rto, self._on_rto, request)
+
+    def _on_rto(self, request: NicRequest) -> None:
+        request.rto_handle = None
+        if request.delivered:
+            return
+        if request.retries >= self.params.max_retries:
+            self.retries_exhausted += 1
+            exc = RetryExhaustedError(
+                f"nic{self.node}: request seq={request.seq} "
+                f"({request.kind}, {request.nbytes}B -> node "
+                f"{request.dst_node}) undelivered after "
+                f"{request.retries} retransmissions"
+            )
+            if request.done.triggered:
+                # Already completed locally (eager/ctrl semantics):
+                # nobody is parked on the event, so surface the failure
+                # through the engine — loud, not a hang.
+                self.engine._record_failure(exc)
+            else:
+                had_waiters = bool(request.done._waiters)
+                request.done.fail(exc)
+                if not had_waiters:
+                    self.engine._record_failure(exc)
+            return
+        # The elapsed timeout is pure backoff: the wire saw nothing.
+        self.backoff_seconds += request.rto_value
+        request.retries += 1
+        self.retransmits += 1
+        if self.engine.tracer.enabled:
+            self.engine.tracer.emit(
+                self.engine.now,
+                "nic.retransmit",
+                node=self.node,
+                dst=request.dst_node,
+                seq=request.seq,
+                attempt=request.retries,
+                req=request.kind,
+            )
+        self._tx_queue.put(request)
+
+    def rx(
+        self,
+        request: NicRequest,
+        desc: NetDescriptor,
+        corrupt: bool = False,
+        attempt: int = 0,
+    ) -> None:
         """Wire-side entry point (called by the switch's last hop)."""
-        self._rx_queue.put((request, desc))
+        self._rx_queue.put((request, desc, corrupt, attempt))
 
     def _rx_run(self):
-        params = self.params
         machine = self.machine
         line = CACHE_LINE
         while True:
-            request, desc = yield self._rx_queue.get()
+            request, desc, corrupt, attempt = yield self._rx_queue.get()
+            if attempt != request.rx_attempt:
+                # First descriptor of a new transmission attempt (links
+                # are in-order per (src, dst), so attempts never
+                # interleave): restart the assembly bookkeeping.
+                request.rx_attempt = attempt
+                request.rx_count = 0
+                request.rx_corrupt = False
             if desc.dst_phys >= 0:
                 # RDMA write into user memory: cached copies invalidate.
                 l0 = desc.dst_phys // line
                 l1 = l0 + ceil_div(desc.nbytes, line)
                 machine.coherence.dma_write(l0, l1)
             yield machine.memory.dram_transfer(desc.nbytes)
-            if desc.execute is not None:
+            if corrupt:
+                # The bytes arrived (and cost the bus) but fail the
+                # integrity check: taint the in-flight transmission and
+                # never run its side effects.
+                request.rx_corrupt = True
+            elif desc.execute is not None and not request.delivered:
                 desc.execute()
             self.bytes_rx += desc.nbytes
+            request.rx_count += 1
             if desc is request.descriptors[-1]:
-                yield from self._complete_rx(request)
+                corrupted = request.rx_corrupt
+                complete = not corrupted and request.rx_count == len(
+                    request.descriptors
+                )
+                if complete:
+                    yield from self._complete_rx(request)
+                else:
+                    # Discard the whole delivery — corrupted, or the
+                    # tail survived drops that ate earlier descriptors
+                    # (completing would leave a hole in the payload).
+                    # The sender's RTO retransmits the full request.
+                    if corrupted:
+                        self.rx_corrupt_discards += 1
+                    else:
+                        self.rx_incomplete_discards += 1
+                    if self.engine.tracer.enabled:
+                        self.engine.tracer.emit(
+                            self.engine.now,
+                            "nic.rx_discard",
+                            node=self.node,
+                            src=request.src_node,
+                            seq=request.seq,
+                            req=request.kind,
+                            why="corrupt" if corrupted else "incomplete",
+                        )
+
+    def _ack_done(self, request: NicRequest, t: float) -> None:
+        """Hardware-ack completion, guarded so a duplicate delivery (a
+        spurious retransmission racing the first ack) can't trigger the
+        one-shot event twice."""
+        if not request.done.triggered:
+            request.done.succeed(t)
 
     def _complete_rx(self, request: NicRequest):
         params = self.params
+        if request.delivered:
+            # A retransmission of a request that already landed clean
+            # (its ack raced the sender's timer): swallow it.
+            self.rx_duplicates += 1
+            if self.engine.tracer.enabled:
+                self.engine.tracer.emit(
+                    self.engine.now,
+                    "nic.rx_duplicate",
+                    node=self.node,
+                    src=request.src_node,
+                    seq=request.seq,
+                    req=request.kind,
+                )
+            return
+        request.delivered = True
+        if request.rto_handle is not None:
+            # Cancel the sender's timer synchronously — no extra
+            # simulated event, so a zero-rate fault plan leaves the
+            # event schedule untouched.
+            request.rto_handle.cancel()
+            request.rto_handle = None
         if request.stage_rx and request.payload_nbytes > 0:
             # Eager payloads land in a preposted bounce buffer on THIS
             # node; waiting for a free one models finite prepost depth
@@ -255,10 +452,14 @@ class Nic:
                 request.tx_release()
         if request.ack:
             self.engine.schedule(
-                params.ack_latency, request.done.succeed, self.engine.now
+                params.ack_latency, self._ack_done, request, self.engine.now
             )
         if request.on_delivered is not None:
-            self.engine.schedule(params.t_completion, request.on_delivered, request)
+            self.engine.schedule(
+                self.fabric.jitter(params.t_completion),
+                request.on_delivered,
+                request,
+            )
         if self.engine.tracer.enabled:
             self.engine.tracer.emit(
                 self.engine.now,

@@ -5,7 +5,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, Iterable, Optional
 
-from repro.errors import DeadlockError, SimulationError
+from repro.errors import DeadlockError, LivelockError, SimulationError
 from repro.sim.events import Event, Timeout
 from repro.sim.trace import Tracer
 
@@ -40,13 +40,25 @@ class Engine:
     events and deferred wakeups) makes every simulation replayable.
     """
 
-    def __init__(self, trace: bool = False) -> None:
+    def __init__(
+        self,
+        trace: bool = False,
+        max_events: Optional[int] = None,
+        max_sim_time: Optional[float] = None,
+    ) -> None:
         self.now: float = 0.0
         self._heap: list[Handle] = []
         self._seq = 0
         self._alive_processes: set = set()
         self._failed: list[BaseException] = []
         self.tracer = Tracer(enabled=trace)
+        #: Progress-watchdog budgets: exceeding either raises
+        #: :class:`LivelockError` from :meth:`run` instead of spinning
+        #: forever (e.g. a retransmission loop that stops converging).
+        self.max_events = max_events
+        self.max_sim_time = max_sim_time
+        #: Callbacks executed so far (cancelled handles don't count).
+        self.events_executed = 0
 
     # -- scheduling ---------------------------------------------------
     def schedule(self, delay: float, fn: Callable, *args: Any) -> Handle:
@@ -119,23 +131,58 @@ class Engine:
                 raise SimulationError("event heap corrupted: time went backwards")
             self.now = handle.time
             handle.fn(*handle.args)
+            self.events_executed += 1
             if self._failed:
                 raise self._failed[0]
             return True
         return False
 
-    def run(self, until: Optional[float] = None) -> float:
+    def _progress_snapshot(self) -> dict[str, float]:
+        """Per-process last-progress timestamps (watchdog diagnostics)."""
+        return {
+            (p.name or repr(p)): p.last_progress for p in self._alive_processes
+        }
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+        max_sim_time: Optional[float] = None,
+    ) -> float:
         """Run until the heap drains (or past ``until``).
 
         Raises :class:`DeadlockError` if the heap drains while processes
         are still parked on events, and re-raises the first uncaught
-        exception from any process.
+        exception from any process.  The progress watchdog —
+        ``max_events`` / ``max_sim_time``, defaulting to the budgets
+        given at construction — raises :class:`LivelockError` (with
+        per-process last-progress timestamps) when a run keeps
+        scheduling events without converging, so a diverging retry loop
+        fails loudly instead of spinning forever.
         """
+        if max_events is None:
+            max_events = self.max_events
+        if max_sim_time is None:
+            max_sim_time = self.max_sim_time
         while self._heap:
             if until is not None and self._heap[0].time > until:
                 self.now = until
                 return self.now
             self.step()
+            if max_events is not None and self.events_executed > max_events:
+                raise LivelockError(
+                    f"event budget of {max_events} exceeded",
+                    self.events_executed,
+                    self.now,
+                    self._progress_snapshot(),
+                )
+            if max_sim_time is not None and self.now > max_sim_time:
+                raise LivelockError(
+                    f"sim-time budget of {max_sim_time:g}s exceeded",
+                    self.events_executed,
+                    self.now,
+                    self._progress_snapshot(),
+                )
         if self._alive_processes:
             blocked = sorted(p.name or repr(p) for p in self._alive_processes)
             raise DeadlockError(blocked)

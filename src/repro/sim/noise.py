@@ -8,6 +8,12 @@ controlled variability: multiplicative lognormal jitter on compute
 phases and scheduling latencies, drawn from a seeded generator so any
 "noisy" experiment is still exactly reproducible.
 
+The same model also covers the NIC's wire and service times: a fabric
+built with ``noise`` (see :class:`repro.net.fabric.Fabric`, or
+``run_cluster(..., noise=...)``) jitters per-descriptor serialization,
+completion delivery, and the retransmission timeouts — so with fault
+injection armed, retry timers across nodes don't fire in lockstep.
+
 Off by default everywhere; enable per run via ``run_mpi(...,
 noise=NoiseModel(seed=1, sigma=0.02))``.
 """

@@ -44,6 +44,7 @@ class Process:
         "_wake_token",
         "_pending_timer",
         "daemon",
+        "last_progress",
     )
 
     def __init__(
@@ -64,6 +65,9 @@ class Process:
         # timeout firing after the process was interrupted).
         self._wake_token = 0
         self._pending_timer = None
+        #: Simulated time of the last step — the livelock watchdog
+        #: reports these so the stalest process identifies the hang.
+        self.last_progress = engine.now
         if not daemon:
             engine._register(self)
         token = self._wake_token
@@ -126,6 +130,7 @@ class Process:
         event.add_callback(lambda evt, t=token: self._on_event_with_token(t, evt))
 
     def _step(self, send_value: Any, throw_exc: Optional[BaseException]) -> None:
+        self.last_progress = self.engine.now
         while True:
             frame = self._stack[-1]
             try:

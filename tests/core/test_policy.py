@@ -117,3 +117,57 @@ def test_backend_lookup_by_name():
 def test_make_policy_helper():
     p = make_policy(TOPO, "knem")
     assert p.select(1 * MiB, 0, 4).name == "knem"
+
+
+# --------------------------------------------------- capability degradation
+def _masked_policy(mode, masked):
+    from repro.faults import FaultPlan, FaultState
+
+    caps = FaultState(FaultPlan(seed=0, masked=masked))
+    return LmtPolicy(TOPO, LmtConfig(mode=mode), capabilities=caps)
+
+
+def test_knem_mask_falls_back_to_vmsplice():
+    p = _masked_policy("knem", {0: frozenset({"knem"})})
+    assert p.select(1 * MiB, 0, 4, pair=(0, 1)).name == "vmsplice"
+    assert p.downgrades[0]["from"] == "knem"
+    assert p.downgrades[0]["to"] == "vmsplice"
+
+
+def test_knem_and_vmsplice_masked_falls_back_to_shm():
+    p = _masked_policy("knem-ioat-async", {0: frozenset({"knem", "vmsplice"})})
+    assert p.select(1 * MiB, 0, 4, pair=(0, 1)).name == "shm"
+    # One event describing the whole walk, not one per hop.
+    assert len(p.downgrades) == 1
+    assert p.downgrades[0] == {
+        "pair": (0, 1),
+        "from": "knem+ioat+async",
+        "to": "shm",
+        "reason": "node 0 lacks vmsplice",
+        "t": 0.0,
+    }
+
+
+def test_vmsplice_mask_falls_back_to_shm():
+    p = _masked_policy("vmsplice", {0: frozenset({"vmsplice"})})
+    assert p.select(1 * MiB, 0, 4, pair=(0, 1)).name == "shm"
+
+
+def test_unmasked_node_keeps_its_backend():
+    p = _masked_policy("knem", {1: frozenset({"knem"})})  # node 1, not 0
+    assert p.select(1 * MiB, 0, 4, node=0, pair=(0, 1)).name == "knem"
+    assert p.downgrades == []
+
+
+def test_downgrade_dedup_is_per_unordered_pair():
+    p = _masked_policy("knem", {0: frozenset({"knem"})})
+    for pair in [(0, 1), (1, 0), (0, 1), (2, 3)]:
+        p.select(1 * MiB, 0, 4, pair=pair)
+    assert [d["pair"] for d in p.downgrades] == [(0, 1), (2, 3)]
+
+
+def test_no_capabilities_means_no_degradation():
+    p = policy("knem")
+    assert p.capabilities is None
+    assert p.select(1 * MiB, 0, 4).name == "knem"
+    assert p.downgrades == []

@@ -269,3 +269,74 @@ def test_determinism_two_identical_runs():
         return log
 
     assert build() == build()
+
+
+# ---------------------------------------------------------------- watchdog
+def test_event_budget_raises_livelock_with_diagnostics():
+    from repro.errors import LivelockError
+
+    eng = Engine()
+
+    def spinner():
+        while True:
+            yield 1e-3
+
+    eng.process(spinner, name="spinner")
+    with pytest.raises(LivelockError) as err:
+        eng.run(max_events=50)
+    exc = err.value
+    assert exc.events > 50
+    assert "spinner" in exc.progress
+    assert "spinner" in str(exc)
+    assert "event budget" in str(exc)
+
+
+def test_sim_time_budget_raises_livelock():
+    from repro.errors import LivelockError
+
+    eng = Engine(max_sim_time=1.0)  # constructor default is honoured
+
+    def spinner():
+        while True:
+            yield 0.1
+
+    eng.process(spinner, name="s")
+    with pytest.raises(LivelockError) as err:
+        eng.run()
+    assert "sim-time budget" in str(err.value)
+    assert err.value.now > 1.0
+
+
+def test_budgets_do_not_disturb_a_converging_run():
+    eng = Engine(max_events=100_000, max_sim_time=1e6)
+
+    def worker():
+        for _ in range(10):
+            yield 0.01
+        return "done"
+
+    p = eng.process(worker)
+    eng.run()
+    assert p.result == "done"
+
+
+def test_watchdog_reports_stalest_process_first():
+    from repro.errors import LivelockError
+
+    eng = Engine()
+    parked = eng.event("never")
+
+    def stale():
+        yield parked  # parks forever at t=0
+
+    def busy():
+        while True:
+            yield 1e-3
+
+    eng.process(stale, name="stale")
+    eng.process(busy, name="busy")
+    with pytest.raises(LivelockError) as err:
+        eng.run(max_events=200)
+    # The message lists processes stalest-first for diagnosability.
+    msg = str(err.value)
+    assert msg.index("stale") < msg.index("busy")

@@ -36,6 +36,7 @@ def test_examples_directory_complete():
         "async_overlap",
         "stencil_subcomms",
         "cluster_pingpong",
+        "fault_injection",
     } <= names
 
 
@@ -61,6 +62,13 @@ def test_cluster_pingpong_runs(capsys):
     out = _run_example("cluster_pingpong", capsys)
     assert "internode" in out
     assert "net-eager" in out and "nic+rdma" in out
+
+
+def test_fault_injection_runs(capsys):
+    out = _run_example("fault_injection", capsys)
+    assert "retransmits" in out
+    assert '"drops_injected"' in out
+    assert "downgrade knem -> vmsplice" in out
 
 
 @pytest.mark.slow

@@ -61,6 +61,29 @@ def test_large_circular_send_deadlock_detected():
         run_mpi(TOPO, 4, main, mode="knem")
 
 
+def test_deadlock_diagnostics_identify_the_stuck_ranks():
+    """A rendezvous sender whose CTS never comes must be named in the
+    DeadlockError — and ranks that completed must NOT be."""
+
+    def main(ctx):
+        comm = ctx.comm
+        buf = ctx.alloc(1 * MiB)
+        if ctx.rank == 0:
+            # Stalls mid-rendezvous: rank 1 never posts the receive.
+            yield comm.Send(buf, dest=1, tag=7)
+        elif ctx.rank in (2, 3):
+            # An unrelated pair that completes normally.
+            peer = 5 - ctx.rank
+            if ctx.rank == 2:
+                yield comm.Send(buf, dest=peer)
+            else:
+                yield comm.Recv(buf, source=peer)
+
+    with pytest.raises(DeadlockError) as err:
+        run_mpi(TOPO, 4, main, mode="knem")
+    assert err.value.blocked == ["rank0"]
+
+
 def test_truncation_does_not_corrupt_other_traffic():
     """A truncation error on one pair must surface as the error, not
     silently scribble past the receive buffer."""
