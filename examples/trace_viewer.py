@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Export a Perfetto/Chrome trace of one NAS IS iteration.
+
+Runs the is.B.8 communication skeleton with causal spans enabled and
+writes a Chrome trace-event JSON — open it at https://ui.perfetto.dev
+(or chrome://tracing) to see the alltoallv's rendezvous messages fan
+out across the core and DMA-channel tracks, with every KNEM cookie and
+I/OAT descriptor hanging off its message's span tree.
+
+Also prints the per-phase sim-time attribution (where the simulated
+time went: CPU copies vs syscalls vs pinning vs DMA) and a slice of the
+unified metrics snapshot.
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro import ObsConfig, xeon_e5345
+from repro.bench.nas import BENCHMARKS, run_nas
+from repro.obs import validate_chrome_trace
+from repro.units import fmt_size
+
+
+def main(out: str | None = None) -> None:
+    if out is None:
+        out = str(Path(tempfile.gettempdir()) / "nas_is_trace.json")
+    topo = xeon_e5345()
+    spec = BENCHMARKS["is.B.8"]
+    result = run_nas(
+        spec,
+        topo,
+        mode="knem-ioat",
+        iterations=1,
+        obs=ObsConfig(spans=True, chrome_path=out),
+    )
+    obs = result.obs
+    print(f"NAS {spec.label} (knem-ioat, 1 iteration): {len(obs.spans)} spans")
+
+    print("\nwhere the simulated time went:")
+    for kind, cell in sorted(obs.phase_breakdown().items()):
+        if kind == "total":
+            continue
+        print(
+            f"  {kind:>8s}: {cell['seconds'] * 1e3:8.3f} ms "
+            f"x{cell['count']:<5d} {fmt_size(int(cell['nbytes']))}"
+        )
+
+    snap = obs.metrics.snapshot()
+    print("\nmetrics (excerpt):")
+    for key in ("BYTES_COPIED", "DMA_BYTES", "L2_MISSES",
+                "knem.copies_completed", "mpi.rndv_received"):
+        print(f"  {key:24s} {snap[key]:,.0f}")
+
+    import json
+
+    stats = validate_chrome_trace(json.loads(Path(out).read_text()))
+    print(
+        f"\nwrote {out}: {stats['events']} events on {stats['tracks']} tracks"
+        f" — load it at https://ui.perfetto.dev"
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else None)

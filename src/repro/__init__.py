@@ -38,6 +38,7 @@ from repro.mpi.cluster import ClusterRunResult, run_cluster
 from repro.mpi.communicator import ANY_SOURCE, ANY_TAG, Communicator
 from repro.mpi.world import MpiRunResult, RankContext, run_mpi
 from repro.net.fabric import ClusterSpec, FabricParams
+from repro.obs import MetricsRegistry, ObsCollector, ObsConfig
 from repro.sim.engine import Engine
 
 __version__ = "1.0.0"
@@ -62,6 +63,9 @@ __all__ = [
     "LmtConfig",
     "LmtPolicy",
     "MODES",
+    "MetricsRegistry",
+    "ObsCollector",
+    "ObsConfig",
     "Machine",
     "HwParams",
     "TopologySpec",

@@ -8,6 +8,7 @@ Examples::
     repro-bench --table 2
     repro-bench --thresholds
     repro-bench --list
+    repro-bench trace --mode knem-ioat --size 1M --out trace.json
 """
 
 from __future__ import annotations
@@ -48,7 +49,111 @@ def _parser() -> argparse.ArgumentParser:
     return p
 
 
+def _trace_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-bench trace",
+        description="Run a traced pingpong and export a Chrome-trace / "
+        "Perfetto JSON (load it at ui.perfetto.dev).",
+    )
+    p.add_argument(
+        "--mode",
+        default="knem-ioat",
+        help="LMT mode for the intranode pingpong (default: knem-ioat)",
+    )
+    p.add_argument(
+        "--size",
+        default="1MiB",
+        help="message size, e.g. 256K or 4MiB (default: 1MiB)",
+    )
+    p.add_argument(
+        "--reps", type=int, default=2, help="pingpong round trips (default: 2)"
+    )
+    p.add_argument(
+        "--cluster",
+        action="store_true",
+        help="run a 2-node internode pingpong instead (NIC/wire tracks)",
+    )
+    p.add_argument(
+        "--out", metavar="FILE", default="trace.json", help="Chrome-trace output"
+    )
+    p.add_argument("--jsonl", metavar="FILE", help="also write the span JSONL")
+    p.add_argument(
+        "--validate",
+        action="store_true",
+        help="schema-check the exported trace (CI smoke test)",
+    )
+    return p
+
+
+def _run_trace(argv: list[str]) -> int:
+    args = _trace_parser().parse_args(argv)
+    import json
+
+    from repro.hw.presets import xeon_e5345
+    from repro.obs import ObsConfig, validate_chrome_trace
+    from repro.units import fmt_size, parse_size
+
+    nbytes = parse_size(args.size)
+    obs_cfg = ObsConfig(
+        spans=True, chrome_path=args.out, jsonl_path=args.jsonl
+    )
+
+    def pingpong(ctx):
+        comm = ctx.comm
+        buf = ctx.alloc(nbytes)
+        peer = 1 - ctx.rank
+        status = None
+        for i in range(args.reps):
+            if ctx.rank == 0:
+                yield comm.Send(buf, dest=peer, tag=i)
+                status = yield comm.Recv(buf, source=peer, tag=i)
+            else:
+                status = yield comm.Recv(buf, source=peer, tag=i)
+                yield comm.Send(buf, dest=peer, tag=i)
+        return getattr(status, "path", None)
+
+    if args.cluster:
+        from repro.mpi.cluster import run_cluster
+        from repro.net.fabric import ClusterSpec
+
+        spec = ClusterSpec(node=xeon_e5345(), nnodes=2)
+        result = run_cluster(
+            spec, 2, pingpong, bindings=[(0, 0), (1, 0)],
+            mode=args.mode, obs=obs_cfg,
+        )
+    else:
+        from repro.mpi.world import run_mpi
+
+        result = run_mpi(
+            xeon_e5345(), 2, pingpong, bindings=[0, 4],
+            mode=args.mode, obs=obs_cfg,
+        )
+    obs = result.obs
+    print(
+        f"pingpong {fmt_size(nbytes)} x{args.reps} path={result.results[-1]} "
+        f"elapsed={result.elapsed * 1e6:.1f}us spans={len(obs.spans)}"
+    )
+    breakdown = obs.phase_breakdown()
+    for kind, cell in sorted(breakdown.items()):
+        if kind == "total" or not isinstance(cell, dict):
+            continue
+        print(
+            f"  {kind:>8}: {cell['seconds'] * 1e6:10.2f}us "
+            f"x{cell['count']:<4} {fmt_size(int(cell['nbytes']))}"
+        )
+    print(f"wrote {args.out}" + (f" and {args.jsonl}" if args.jsonl else ""))
+    if args.validate:
+        with open(args.out) as fh:
+            stats = validate_chrome_trace(json.load(fh))
+        print(f"trace OK: {json.dumps(stats)}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "trace":
+        return _run_trace(argv[1:])
     args = _parser().parse_args(argv)
 
     if args.list:

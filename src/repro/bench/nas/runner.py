@@ -31,6 +31,9 @@ class NasResult:
     seconds: float
     l2_misses: float
     paper_default_seconds: float
+    #: Finalized :class:`repro.obs.ObsCollector` when the caller passed
+    #: an obs config; None otherwise.
+    obs: object = None
 
     def speedup_vs(self, baseline: "NasResult") -> float:
         """Relative improvement over a baseline run (paper's last
@@ -125,6 +128,7 @@ def run_nas(
     iterations: Optional[int] = None,
     bindings: Optional[list[int]] = None,
     noise=None,
+    obs=None,
 ) -> NasResult:
     """Run one NAS skeleton; returns the timed-region duration.
 
@@ -155,7 +159,7 @@ def run_nas(
             marks["stop"] = ctx.now
             marks["misses1"] = ctx.machine.papi.total("L2_MISSES", cores=bindings)
 
-    run_mpi(
+    result = run_mpi(
         topo,
         spec.nprocs,
         main,
@@ -163,6 +167,7 @@ def run_nas(
         mode=mode,
         config=config,
         noise=noise,
+        obs=obs,
     )
     scale = spec.iterations / iters
     return NasResult(
@@ -171,4 +176,5 @@ def run_nas(
         seconds=(marks["stop"] - marks["start"]) * scale,
         l2_misses=(marks["misses1"] - marks["misses0"]) * scale,
         paper_default_seconds=spec.paper_default_seconds,
+        obs=result.obs,
     )

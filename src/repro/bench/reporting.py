@@ -20,6 +20,7 @@ __all__ = [
     "format_json",
     "topology_block",
     "resilience_block",
+    "obs_block",
 ]
 
 
@@ -138,11 +139,28 @@ def resilience_block(fabric, policy=None) -> dict:
     return block
 
 
+def obs_block(obs) -> dict:
+    """Summarize a run's observability state for stored results.
+
+    Takes a finalized :class:`repro.obs.ObsCollector` (``result.obs``)
+    and returns the unified metrics snapshot plus — when spans were
+    recorded — the per-phase sim-time attribution
+    (:func:`repro.obs.phase_breakdown`): how much simulated time went
+    to ``copy`` vs ``syscall`` vs ``pin`` vs ``dma`` vs ``wire``."""
+    block: dict = {"metrics": obs.metrics.snapshot()}
+    if obs.enabled:
+        block["phase_breakdown"] = obs.phase_breakdown()
+        block["spans"] = len(obs.spans)
+        block["dropped_spans"] = obs.dropped_spans
+    return block
+
+
 def format_json(
-    sweep: Sweep, topology=None, resilience=None, indent: Optional[int] = 2
+    sweep: Sweep, topology=None, resilience=None, obs=None,
+    indent: Optional[int] = 2
 ) -> str:
     """Serialize a sweep (plus the host description and, optionally, a
-    :func:`resilience_block`) as JSON."""
+    :func:`resilience_block` and an :func:`obs_block`) as JSON."""
     doc: dict = {
         "title": sweep.title,
         "xlabel": sweep.xlabel,
@@ -152,6 +170,8 @@ def format_json(
         doc["topology"] = topology_block(topology)
     if resilience is not None:
         doc["resilience"] = resilience
+    if obs is not None:
+        doc["observability"] = obs_block(obs)
     doc["series"] = [
         {"label": s.label, "points": [[x, y] for x, y in s.points]}
         for s in sweep.series

@@ -8,10 +8,11 @@ the DMA engine were doing over time::
     print(render_timeline(result.machine.engine.tracer,
                           ncores=topo.ncores))
 
-Lanes show ``#`` where a CPU copy was in flight and the DMA lane shows
-``=`` during device transfers — the visual version of the paper's
-Fig. 2 (asynchronous transfer with I/OAT copy offload): the core lanes
-go quiet while the DMA lane fills.
+Lanes show ``#`` where a CPU copy was in flight, the DMA lane shows
+``=`` during device transfers, and (for cluster runs) one lane per NIC
+shows ``~`` while frames are on the wire — the visual version of the
+paper's Fig. 2 (asynchronous transfer with I/OAT copy offload): the
+core lanes go quiet while the DMA lane fills.
 """
 
 from __future__ import annotations
@@ -24,14 +25,19 @@ from repro.sim.trace import Tracer
 __all__ = ["render_timeline", "core_busy_fraction"]
 
 
+_TIMED_KINDS = ("copy", "dma", "nic.tx")
+
+
 def _bounds(tracer: Tracer) -> tuple[float, float]:
     spans = [
         (r.time, r.fields.get("end", r.time))
         for r in tracer.records
-        if r.kind in ("copy", "dma")
+        if r.kind in _TIMED_KINDS
     ]
     if not spans:
-        raise BenchmarkError("no copy/dma trace records; run with trace=True")
+        raise BenchmarkError(
+            "no copy/dma/nic trace records; run with trace=True"
+        )
     return min(t for t, _ in spans), max(e for _, e in spans)
 
 
@@ -42,7 +48,8 @@ def render_timeline(
     t0: Optional[float] = None,
     t1: Optional[float] = None,
 ) -> str:
-    """ASCII lanes: one per core plus one for the DMA engine."""
+    """ASCII lanes: one per core, one for the DMA engine, and one per
+    NIC that put frames on the wire (auto-detected from the records)."""
     lo, hi = _bounds(tracer)
     t0 = lo if t0 is None else t0
     t1 = hi if t1 is None else t1
@@ -50,6 +57,14 @@ def render_timeline(
 
     lanes = {c: [" "] * width for c in range(ncores)}
     dma_lane = [" "] * width
+    nic_nodes = sorted(
+        {
+            r.fields.get("node")
+            for r in tracer.records
+            if r.kind == "nic.tx" and r.fields.get("node") is not None
+        }
+    )
+    nic_lanes = {node: [" "] * width for node in nic_nodes}
 
     def cols(start: float, end: float) -> range:
         a = int((start - t0) / span * (width - 1))
@@ -68,13 +83,23 @@ def render_timeline(
         elif record.kind == "dma":
             for c in cols(record.time, end):
                 dma_lane[c] = "="
+        elif record.kind == "nic.tx":
+            lane = nic_lanes.get(record.fields.get("node"))
+            if lane is not None:
+                for c in cols(record.time, end):
+                    lane[c] = "~"
 
     lines = [f"timeline [{t0 * 1e6:.1f}us .. {t1 * 1e6:.1f}us]"]
     for core in range(ncores):
         lines.append(f"core{core:<3d}|" + "".join(lanes[core]))
     lines.append("dma    |" + "".join(dma_lane))
+    for node in nic_nodes:
+        lines.append(f"nic{node:<4d}|" + "".join(nic_lanes[node]))
     lines.append("       " + "-" * width)
-    lines.append("       # cpu copy   = dma transfer")
+    legend = "       # cpu copy   = dma transfer"
+    if nic_nodes:
+        legend += "   ~ nic wire"
+    lines.append(legend)
     return "\n".join(lines)
 
 

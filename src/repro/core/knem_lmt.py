@@ -42,7 +42,7 @@ class KnemLmt(LmtBackend):
     # ------------------------------------------------------------ sender
     def sender_start(self, side: TransferSide):
         knem = side.world.knem_of(side.rank)
-        cookie = yield from knem.send_cmd(side.core, side.views)
+        cookie = yield from knem.send_cmd(side.core, side.views, parent=side.span)
         return {"cookie": cookie}
 
     def sender_on_cts(self, side: TransferSide, cts_info: dict):
@@ -64,7 +64,9 @@ class KnemLmt(LmtBackend):
         if self.async_mode:
             flags |= KnemFlags.ASYNC
 
-        status = yield from knem.recv_cmd(side.core, cookie, side.views, flags)
+        status = yield from knem.recv_cmd(
+            side.core, cookie, side.views, flags, parent=side.span
+        )
         if not status.completed:
             if self.ioat:
                 # Background DMA: the library polls the status variable

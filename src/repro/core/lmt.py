@@ -43,6 +43,9 @@ class TransferSide:
     #: Backend-private state carried between this side's hooks (the
     #: same TransferSide object is reused across prepare/transfer).
     scratch: dict = field(default_factory=dict)
+    #: Observability parent for this side of the transfer (the
+    #: ``msg.send``/``msg.recv`` span); backends link their work here.
+    span: Any = None
 
     @property
     def machine(self):

@@ -107,7 +107,8 @@ class ShmLmt(LmtBackend):
             for piece in iovec_chunks(side.views, ring.cell_bytes):
                 cell = yield ring.free.get()
                 yield from cpu_copy(
-                    machine, side.core, [cell.view(0, piece.nbytes)], [piece]
+                    machine, side.core, [cell.view(0, piece.nbytes)], [piece],
+                    parent=side.span,
                 )
                 # The "cell full" flag crosses to the receiver's cache.
                 side.engine.schedule(latency, ring.full.put, (cell, piece.nbytes))
@@ -126,7 +127,8 @@ class ShmLmt(LmtBackend):
             while received < side.nbytes:
                 cell, n = yield ring.full.get()
                 yield from cpu_copy(
-                    machine, side.core, writer.take(n), [cell.view(0, n)]
+                    machine, side.core, writer.take(n), [cell.view(0, n)],
+                    parent=side.span,
                 )
                 side.engine.schedule(latency, ring.free.put, cell)
                 received += n

@@ -41,15 +41,23 @@ class VmspliceLmt(LmtBackend):
         world = side.world
         pipe = world.pipe(side.rank, side.peer_rank)
         chunk = side.machine.params.pipe_capacity
-        for piece in iovec_chunks(side.views, chunk):
+        obs = side.engine.obs
+        for seq, piece in enumerate(iovec_chunks(side.views, chunk)):
+            chunk_span = None
+            if obs.enabled:
+                chunk_span = obs.begin(
+                    "pipe.chunk", kind="chunk", track=f"core{side.core}",
+                    parent=side.span, seq=seq, nbytes=piece.nbytes,
+                )
             if self.use_writev:
                 # The copy into the pipe pages and the pipe-state
                 # maintenance run under the pipe mutex (inside writev);
                 # vmsplice only attaches page pointers there — the
                 # whole point of the splice path.
-                yield from pipe.writev(side.core, [piece])
+                yield from pipe.writev(side.core, [piece], parent=chunk_span)
             else:
-                yield from pipe.vmsplice(side.core, [piece])
+                yield from pipe.vmsplice(side.core, [piece], parent=chunk_span)
+            obs.end(chunk_span)
 
     # ---------------------------------------------------------- receiver
     def receiver_transfer(self, side: TransferSide, rts_info: dict):
@@ -62,7 +70,9 @@ class VmspliceLmt(LmtBackend):
             want = view.nbytes - voff
             # Pipe-state synchronization is charged inside readv, under
             # the pipe mutex.
-            n = yield from pipe.readv(side.core, [view.sub(voff, want)])
+            n = yield from pipe.readv(
+                side.core, [view.sub(voff, want)], parent=side.span
+            )
             received += n
             voff += n
             if voff >= view.nbytes:

@@ -51,6 +51,8 @@ class DmaRequest:
     #: status-write descriptor (fully-background notification).
     status_write: bool = False
     submitter_core: int = -1
+    #: Observability parent: per-descriptor ``dma`` spans link here.
+    span: object = None
 
     @property
     def nbytes(self) -> int:
@@ -80,7 +82,7 @@ class DmaEngine:
         self.bytes_copied = 0
         self.descriptors_processed = 0
         self._workers = [
-            engine.process(self._run(q), name=f"ioat-engine.ch{c}", daemon=True)
+            engine.process(self._run(q, c), name=f"ioat-engine.ch{c}", daemon=True)
             for c, q in enumerate(self._queues)
         ]
 
@@ -138,10 +140,11 @@ class DmaEngine:
         queue.put(request)
 
     # ------------------------------------------------------------ work
-    def _run(self, queue: Channel):
+    def _run(self, queue: Channel, chan: int):
         line = CACHE_LINE
         coherence = self.machine.coherence
         memory = self.machine.memory
+        obs = self.engine.obs
         while True:
             request: DmaRequest = yield queue.get()
             for desc in request.descriptors:
@@ -155,9 +158,16 @@ class DmaEngine:
                 # Service time: device streaming rate, but the data
                 # crosses the (shared) DRAM bus twice (read + write).
                 t0 = self.engine.now
+                span = None
+                if obs.enabled:
+                    span = obs.begin(
+                        "dma.copy", kind="dma", track=f"dma.ch{chan}",
+                        parent=request.span, nbytes=desc.nbytes,
+                    )
                 device = self.engine.timer(desc.nbytes / self.params.dma_rate)
                 bus = memory.dram_transfer(2 * desc.nbytes)
                 yield AllOf(self.engine, [device, bus])
+                obs.end(span)
                 if desc.execute is not None:
                     desc.execute()
                 self.bytes_copied += desc.nbytes

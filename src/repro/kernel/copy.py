@@ -80,7 +80,10 @@ def _stream_cost(machine, breakdown: StreamBreakdown) -> tuple[float, int, int]:
     return cpu, dram_bytes, fsb_bytes
 
 
-def _charge_chunk(machine, core: int, nbytes: int, breakdowns, move=None):
+def _charge_chunk(
+    machine, core: int, nbytes: int, breakdowns, move=None,
+    parent=None, span_kind="copy", span_name=None,
+):
     """Wait for the CPU / DRAM / FSB work of one chunk, then move data."""
     p = machine.params
     access_cpu = 0.0
@@ -101,6 +104,16 @@ def _charge_chunk(machine, core: int, nbytes: int, breakdowns, move=None):
     machine.papi.add(core, "CPU_BUSY", cpu)
 
     t0 = machine.engine.now
+    obs = machine.engine.obs
+    span = None
+    if obs.enabled:
+        span = obs.begin(
+            span_name or f"{span_kind}.chunk",
+            kind=span_kind,
+            track=f"core{core}",
+            parent=parent,
+            nbytes=nbytes,
+        )
     waits = [machine.cores[core].busy(cpu)]
     if dram_bytes:
         waits.append(machine.memory.dram_transfer(dram_bytes))
@@ -112,6 +125,7 @@ def _charge_chunk(machine, core: int, nbytes: int, breakdowns, move=None):
         yield AllOf(machine.engine, waits)
     if move is not None:
         move()
+    obs.end(span, dram=dram_bytes, fsb=fsb_bytes)
     tracer = machine.engine.tracer
     if tracer.enabled:
         tracer.emit(
@@ -131,11 +145,13 @@ def cpu_copy(
     dst_views: Sequence[BufferView],
     src_views: Sequence[BufferView],
     chunk: int = DEFAULT_CHUNK,
+    parent=None,
 ):
     """Copy ``src_views`` into ``dst_views`` on ``core``.
 
     Generator; returns the number of bytes copied.  The views' total
     sizes need not match — the copy stops at the shorter of the two.
+    ``parent`` links the emitted ``copy`` spans into a causal tree.
     """
     copied = 0
     for dv, sv in iter_lockstep(dst_views, src_views, chunk):
@@ -147,7 +163,10 @@ def cpu_copy(
         def move(dv=dv, sv=sv):
             dv.array[:] = sv.array
 
-        yield from _charge_chunk(machine, core, dv.nbytes, (src_bd, dst_bd), move)
+        yield from _charge_chunk(
+            machine, core, dv.nbytes, (src_bd, dst_bd), move,
+            parent=parent, span_kind="copy", span_name="cpu.copy",
+        )
         machine.papi.add(core, "BYTES_COPIED", dv.nbytes)
         copied += dv.nbytes
     return copied
@@ -160,6 +179,7 @@ def stream_access(
     write: bool = False,
     intensity: float = 1.0,
     chunk: int = DEFAULT_CHUNK,
+    parent=None,
 ):
     """Model a compute phase scanning ``views`` on ``core``.
 
@@ -180,7 +200,10 @@ def stream_access(
                 bd = machine.coherence.read(core, l0, l1)
             # Intensity scales the instruction-stream component only;
             # the memory-side costs come from the breakdown as usual.
-            yield from _charge_chunk(machine, core, int(n * intensity), (bd,))
+            yield from _charge_chunk(
+                machine, core, int(n * intensity), (bd,),
+                parent=parent, span_kind="compute", span_name="stream.access",
+            )
             offset += n
             touched += n
     return touched

@@ -55,6 +55,9 @@ class KnemStatus:
     def __init__(self, engine, nbytes: int) -> None:
         self.done: Event = engine.event("knem-status")
         self.nbytes = nbytes
+        #: Observability span covering the command until the driver
+        #: writes Success (closed by ``_finish``; None when disabled).
+        self.span = None
 
     @property
     def completed(self) -> bool:
@@ -93,7 +96,7 @@ class KnemDevice:
         self.reg_cache = reg_cache
 
     # ------------------------------------------------------------ send
-    def send_cmd(self, core: int, views: Sequence[BufferView]):
+    def send_cmd(self, core: int, views: Sequence[BufferView], parent=None):
         """Declare a send buffer; returns the cookie id (generator —
         arguments are validated eagerly, before the first yield).
 
@@ -102,14 +105,25 @@ class KnemDevice:
         """
         if not views or total_bytes(views) == 0:
             raise KnemError("empty send declaration")
-        return self._send_cmd(core, list(views))
+        return self._send_cmd(core, list(views), parent)
 
-    def _send_cmd(self, core: int, views: list[BufferView]):
+    def _send_cmd(self, core: int, views: list[BufferView], parent=None):
         params = self.machine.params
-        yield from syscall(self.machine, core, extra=params.t_knem_cmd)
-        yield from self._pin(core, views)
+        obs = self.machine.engine.obs
+        span = None
+        if obs.enabled:
+            span = obs.begin(
+                "knem.declare", kind="cmd", track=f"core{core}",
+                parent=parent, nbytes=total_bytes(views),
+            )
+        yield from syscall(
+            self.machine, core, extra=params.t_knem_cmd,
+            parent=span, name="knem.ioctl",
+        )
+        yield from self._pin(core, views, parent=span)
         cookie_id = next(self._ids)
         self._cookies[cookie_id] = KnemCookie(cookie_id, list(views), core)
+        obs.end(span, cookie=cookie_id)
         return cookie_id
 
     def cookie(self, cookie_id: int) -> KnemCookie:
@@ -125,12 +139,23 @@ class KnemDevice:
         cookie_id: int,
         dst_views: Sequence[BufferView],
         flags: KnemFlags = KnemFlags.NONE,
+        parent=None,
     ):
         """Move the cookie's data into ``dst_views``.  Generator;
         returns a :class:`KnemStatus` (already completed in the
         synchronous modes)."""
         params = self.machine.params
-        yield from syscall(self.machine, core, extra=params.t_knem_cmd)
+        obs = self.machine.engine.obs
+        span = None
+        if obs.enabled:
+            span = obs.begin(
+                "knem.recv", kind="cmd", track=f"core{core}",
+                parent=parent, cookie=cookie_id, flags=str(flags),
+            )
+        yield from syscall(
+            self.machine, core, extra=params.t_knem_cmd,
+            parent=span, name="knem.ioctl",
+        )
         cookie = self.cookie(cookie_id)
         if not cookie.active:
             raise CookieError(f"cookie {cookie_id} already consumed")
@@ -138,10 +163,14 @@ class KnemDevice:
         if nbytes <= 0:
             raise KnemError("empty receive")
         status = KnemStatus(self.machine.engine, nbytes)
+        # The span outlives this generator in the async modes; _finish
+        # closes it when the driver writes Success.
+        status.span = span
+        obs.annotate(span, nbytes=nbytes)
 
         if flags & KnemFlags.IOAT:
             # The receive buffer is pinned only when I/OAT is used.
-            yield from self._pin(core, dst_views)
+            yield from self._pin(core, dst_views, parent=span)
             yield from self._recv_ioat(core, cookie, dst_views, flags, status)
         elif flags & KnemFlags.ASYNC:
             self._spawn_kthread(core, cookie, dst_views, status)
@@ -150,7 +179,7 @@ class KnemDevice:
         return status
 
     # ------------------------------------------------------- internals
-    def _pin(self, core: int, views: Sequence[BufferView]):
+    def _pin(self, core: int, views: Sequence[BufferView], parent=None):
         if self.reg_cache is not None:
             pages = self.reg_cache.lookup_pages_to_pin(list(views))
         else:
@@ -158,12 +187,21 @@ class KnemDevice:
         cost = pages * self.machine.params.t_pin_page
         self.machine.papi.add(core, "PAGES_PINNED", pages)
         self.machine.papi.add(core, "CPU_BUSY", cost)
+        obs = self.machine.engine.obs
+        span = None
+        if obs.enabled:
+            span = obs.begin(
+                "knem.pin", kind="pin", track=f"core{core}",
+                parent=parent, pages=pages,
+            )
         yield self.machine.cores[core].busy(cost)
+        obs.end(span)
 
     def _finish(self, cookie: KnemCookie, status: KnemStatus) -> None:
         cookie.active = False
         self._cookies.pop(cookie.cookie_id, None)
         self.copies_completed += 1
+        self.machine.engine.obs.end(status.span)
         status.done.succeed(self.machine.engine.now)
 
     def _copy_sync(self, core, cookie, dst_views, status):
@@ -173,6 +211,7 @@ class KnemDevice:
             list(dst_views),
             cookie.views,
             chunk=self.machine.params.knem_chunk,
+            parent=status.span,
         )
         self._finish(cookie, status)
 
@@ -188,6 +227,7 @@ class KnemDevice:
                 list(dst_views),
                 cookie.views,
                 chunk=self.machine.params.knem_chunk,
+                parent=status.span,
             )
             self._finish(cookie, status)
 
@@ -211,6 +251,7 @@ class KnemDevice:
             done=machine.engine.event("knem-ioat"),
             status_write=bool(flags & KnemFlags.ASYNC),
             submitter_core=core,
+            span=status.span,
         )
         # Descriptor submission runs on the receiver's core.
         cost = machine.dma.submission_cost(request)

@@ -112,14 +112,14 @@ class Pipe:
             raise PipeError(f"{self.name} is closed")
 
     # ------------------------------------------------------------ ops
-    def writev(self, core: int, views: Sequence[BufferView]):
+    def writev(self, core: int, views: Sequence[BufferView], parent=None):
         """Two-copy path: copy user pages into kernel pipe pages.
 
         Blocks (in chunks) when the pipe is full.  Generator; returns
         bytes written.
         """
         self._check_open()
-        yield from syscall(self.machine, core)
+        yield from syscall(self.machine, core, parent=parent, name="pipe.writev")
         written = 0
         for view in views:
             offset = 0
@@ -130,7 +130,8 @@ class Pipe:
                 yield self.lock.acquire()
                 try:
                     yield from cpu_copy(
-                        self.machine, core, [kview], [view.sub(offset, n)]
+                        self.machine, core, [kview], [view.sub(offset, n)],
+                        parent=parent,
                     )
                     if self.sync_cost:
                         self.machine.papi.add(core, "CPU_BUSY", self.sync_cost)
@@ -144,7 +145,7 @@ class Pipe:
                 self._wake_readers()
         return written
 
-    def vmsplice(self, core: int, views: Sequence[BufferView]):
+    def vmsplice(self, core: int, views: Sequence[BufferView], parent=None):
         """Single-copy path: attach user pages to the pipe (no copy).
 
         Charges the syscall, the VFS chunk bookkeeping and per-page
@@ -153,7 +154,11 @@ class Pipe:
         """
         self._check_open()
         params = self.machine.params
-        yield from syscall(self.machine, core, extra=params.t_vfs_chunk)
+        obs = self.machine.engine.obs
+        yield from syscall(
+            self.machine, core, extra=params.t_vfs_chunk,
+            parent=parent, name="pipe.vmsplice",
+        )
         spliced = 0
         for view in views:
             offset = 0
@@ -165,8 +170,15 @@ class Pipe:
                 cost = pages * params.t_splice_page
                 yield self.lock.acquire()
                 try:
+                    span = None
+                    if obs.enabled:
+                        span = obs.begin(
+                            "splice.attach", kind="pin", track=f"core{core}",
+                            parent=parent, pages=pages, nbytes=n,
+                        )
                     self.machine.papi.add(core, "CPU_BUSY", cost)
                     yield self.machine.cores[core].busy(cost)
+                    obs.end(span)
                 finally:
                     self.lock.release()
                 self._segments.append(_Segment([piece], spliced=True))
@@ -176,7 +188,7 @@ class Pipe:
                 self._wake_readers()
         return spliced
 
-    def readv(self, core: int, views: Sequence[BufferView]):
+    def readv(self, core: int, views: Sequence[BufferView], parent=None):
         """Copy queued pipe content into the destination views.
 
         For spliced segments this reads straight from the *sender's*
@@ -187,7 +199,7 @@ class Pipe:
         bytes read.
         """
         self._check_open()
-        yield from syscall(self.machine, core)
+        yield from syscall(self.machine, core, parent=parent, name="pipe.readv")
         read = 0
         want = sum(v.nbytes for v in views)
         vi, voff = 0, 0
@@ -203,7 +215,8 @@ class Pipe:
             yield self.lock.acquire()
             try:
                 yield from cpu_copy(
-                    self.machine, core, [dst.sub(voff, n)], [src.sub(0, n)]
+                    self.machine, core, [dst.sub(voff, n)], [src.sub(0, n)],
+                    parent=parent,
                 )
                 if self.sync_cost:
                     self.machine.papi.add(core, "CPU_BUSY", self.sync_cost)
@@ -228,7 +241,7 @@ class Pipe:
         self._wake_writers()
         return read
 
-    def detach(self, core: int, max_bytes: int):
+    def detach(self, core: int, max_bytes: int, parent=None):
         """Pop up to ``max_bytes`` of queued content *without copying*,
         returning the backing views (sender pages for spliced segments,
         kernel ring pages for written ones).
@@ -241,7 +254,7 @@ class Pipe:
         self._check_open()
         if max_bytes <= 0:
             raise PipeError(f"detach needs a positive byte budget, got {max_bytes}")
-        yield from syscall(self.machine, core)
+        yield from syscall(self.machine, core, parent=parent, name="pipe.detach")
         yield from self._wait_data()
         views: list[BufferView] = []
         taken = 0

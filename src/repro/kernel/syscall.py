@@ -11,10 +11,16 @@ from __future__ import annotations
 __all__ = ["syscall"]
 
 
-def syscall(machine, core: int, extra: float = 0.0):
+def syscall(machine, core: int, extra: float = 0.0, parent=None, name="syscall"):
     """Charge one syscall (entry/exit plus ``extra`` in-kernel time) to
-    ``core``.  Generator; yield it from a simulated process."""
+    ``core``.  Generator; yield it from a simulated process.  ``parent``
+    links the emitted ``syscall`` span into a causal tree."""
     machine.papi.add(core, "SYSCALLS", 1)
     cost = machine.params.t_syscall + extra
     machine.papi.add(core, "CPU_BUSY", cost)
+    obs = machine.engine.obs
+    span = None
+    if obs.enabled:
+        span = obs.begin(name, kind="syscall", track=f"core{core}", parent=parent)
     yield machine.cores[core].busy(cost)
+    obs.end(span)

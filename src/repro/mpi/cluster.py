@@ -107,6 +107,7 @@ class ClusterWorld(MpiWorld):
         self.nic_of(src_rank).send_ctrl(
             self.node_of(dst_rank),
             lambda _req, p=pkt, d=dst_rank: self.endpoints[d].dispatch(p),
+            parent=getattr(pkt, "span", None),
         )
 
     def select_backend(self, nbytes: int, src_rank: int, dst_rank: int):
@@ -162,6 +163,7 @@ def run_cluster(
     coll_tuning: Optional[CollTuning] = None,
     noise=None,
     faults=None,
+    obs=None,
 ) -> ClusterRunResult:
     """Run ``main(ctx)`` on ``nprocs`` ranks spread over a cluster.
 
@@ -188,7 +190,7 @@ def run_cluster(
         bindings = [(r // ppn, r % ppn) for r in range(nprocs)]
     elif nprocs is None:
         nprocs = len(bindings)
-    engine = Engine(trace=trace)
+    engine = Engine(trace=trace, obs=obs)
     cluster = Cluster(engine, spec, faults=faults, noise=noise)
     policy = ClusterLmtPolicy(
         spec.node,
@@ -211,10 +213,12 @@ def run_cluster(
         engine.process(main(ctx), name=f"rank{ctx.rank}") for ctx in contexts
     ]
     engine.run(until=until)
+    engine.obs.finalize(world)
     return ClusterRunResult(
         results=[p.result for p in processes],
         elapsed=engine.now,
         machine=cluster.machines[0],
         world=world,
         cluster=cluster,
+        obs=engine.obs,
     )

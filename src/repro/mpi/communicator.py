@@ -82,6 +82,9 @@ class Communicator:
         self.endpoint = world.endpoints[self.world_rank]
         self._world_to_local = {w: l for l, w in enumerate(self.group)}
         self._split_seq = 0
+        #: The collective span currently open on this rank (sends
+        #: started inside a collective parent to it).
+        self._active_coll = None
 
     # mpi4py-style accessors -------------------------------------------
     def Get_rank(self) -> int:
@@ -155,6 +158,14 @@ class Communicator:
 
     def _send_self(self, views, nbytes, tag):
         yield from self._sw_overhead()
+        obs = self.world.engine.obs
+        span = None
+        if obs.enabled:
+            span = obs.begin(
+                "msg.send", kind="msg", track=f"core{self.core}",
+                parent=self._active_coll, dst=self.world_rank,
+                nbytes=nbytes, tag=tag, path="self",
+            )
         pkt = SelfPacket(
             src=self.world_rank,
             tag=tag,
@@ -162,9 +173,11 @@ class Communicator:
             views=views,
             copied=self.world.engine.event("self-copied"),
             cid=self.cid,
+            span=span,
         )
         self.endpoint.dispatch(pkt)
         yield pkt.copied  # buffer reusable once the receive copied it
+        obs.end(span)
 
     def _cell_cost(self, nbytes: int):
         """Per-cell queue-operation cost of an eager transfer leg.
@@ -183,6 +196,14 @@ class Communicator:
 
     def _send_eager(self, views, nbytes, dest_world, tag):
         yield from self._sw_overhead()
+        obs = self.world.engine.obs
+        span = None
+        if obs.enabled:
+            span = obs.begin(
+                "msg.send", kind="msg", track=f"core{self.core}",
+                parent=self._active_coll, dst=dest_world,
+                nbytes=nbytes, tag=tag, path="eager",
+            )
         cell = None
         if nbytes > 0:
             dst_ep = self.world.endpoints[dest_world]
@@ -193,7 +214,8 @@ class Communicator:
             try:
                 yield from self._cell_cost(nbytes)
                 yield from cpu_copy(
-                    self.machine, self.core, [cell.view(0, nbytes)], views
+                    self.machine, self.core, [cell.view(0, nbytes)], views,
+                    parent=span,
                 )
             finally:
                 dst_ep.enqueue_lock.release()
@@ -201,9 +223,11 @@ class Communicator:
             self.world_rank,
             dest_world,
             EagerPacket(
-                src=self.world_rank, tag=tag, nbytes=nbytes, cell=cell, cid=self.cid
+                src=self.world_rank, tag=tag, nbytes=nbytes, cell=cell,
+                cid=self.cid, span=span,
             ),
         )
+        obs.end(span)
 
     def _send_rndv(self, views, nbytes, dest_world, tag):
         yield from self._sw_overhead()
@@ -220,11 +244,20 @@ class Communicator:
                 dst=dest_world,
                 nbytes=nbytes,
             )
+        obs = world.engine.obs
+        msg_span = None
+        if obs.enabled:
+            msg_span = obs.begin(
+                "msg.send", kind="msg", track=f"core{self.core}",
+                parent=self._active_coll, backend=backend.name,
+                dst=dest_world, nbytes=nbytes, tag=tag, path="rndv",
+            )
         txn = world.new_txn()
         waiters = self.endpoint.open_txn(txn)
         side = TransferSide(
             world, self.world_rank, self.core, dest_world, peer_core, views, nbytes, txn
         )
+        side.span = msg_span
         world.note_lmt_start()
         try:
             try:
@@ -237,6 +270,7 @@ class Communicator:
                     raise
                 backend = fallback
                 side.scratch.clear()
+                obs.annotate(msg_span, backend=backend.name, downgraded=True)
                 info = yield from backend.sender_start(side)
             world.deliver(
                 self.world_rank,
@@ -249,20 +283,37 @@ class Communicator:
                     backend=backend.name,
                     info=info,
                     cid=self.cid,
+                    span=msg_span,
                 ),
             )
+            hs = None
+            if obs.enabled:
+                hs = obs.begin(
+                    "cts.wait", kind="handshake", track=f"core{self.core}",
+                    parent=msg_span, txn=txn,
+                )
             cts_info = yield waiters["cts"]
+            obs.end(hs)
             # The receiver may have downgraded (its own registration
             # failed); the CTS then names the backend both sides use.
             switched = cts_info.pop("backend", None)
             if switched is not None and switched != backend.name:
                 backend = world.policy.backend(switched)
+                obs.annotate(msg_span, backend=backend.name, downgraded=True)
             yield from backend.sender_on_cts(side, cts_info)
             if backend.receiver_sends_done:
+                hs = None
+                if obs.enabled:
+                    hs = obs.begin(
+                        "done.wait", kind="handshake", track=f"core{self.core}",
+                        parent=msg_span, txn=txn,
+                    )
                 yield waiters["done"]
+                obs.end(hs)
         finally:
             self.endpoint.close_txn(txn)
             world.note_lmt_end()
+            obs.end(msg_span)
 
     # ------------------------------------------------------------- recv
     def Recv(self, buf: BufLike, source: int = ANY_SOURCE, tag: int = ANY_TAG):
@@ -321,18 +372,33 @@ class Communicator:
                 f"exceeds receive buffer of {capacity}B"
             )
         machine = self.machine
+        obs = self.world.engine.obs
 
         if isinstance(pkt, SelfPacket):
             yield from self._sw_overhead()
+            span = None
+            if obs.enabled:
+                span = obs.begin(
+                    "msg.recv", kind="msg", track=f"core{self.core}",
+                    parent=pkt.span, src=pkt.src, nbytes=pkt.nbytes, path="self",
+                )
             if pkt.nbytes:
                 yield from cpu_copy(
-                    machine, self.core, _clip_views(views, pkt.nbytes), pkt.views
+                    machine, self.core, _clip_views(views, pkt.nbytes), pkt.views,
+                    parent=span,
                 )
             pkt.copied.succeed()
+            obs.end(span)
             return Status(self._to_local(pkt.src), pkt.tag, pkt.nbytes, "self")
 
         if isinstance(pkt, EagerPacket):
             yield from self._sw_overhead()
+            span = None
+            if obs.enabled:
+                span = obs.begin(
+                    "msg.recv", kind="msg", track=f"core{self.core}",
+                    parent=pkt.span, src=pkt.src, nbytes=pkt.nbytes, path="eager",
+                )
             if pkt.nbytes:
                 yield from self._cell_cost(pkt.nbytes)
                 yield from cpu_copy(
@@ -340,25 +406,43 @@ class Communicator:
                     self.core,
                     _clip_views(views, pkt.nbytes),
                     [pkt.cell.view(0, pkt.nbytes)],
+                    parent=span,
                 )
                 self.endpoint.free_cells.put(pkt.cell)
             self.endpoint.eager_received += 1
+            obs.end(span)
             return Status(self._to_local(pkt.src), pkt.tag, pkt.nbytes, "eager")
 
         if isinstance(pkt, NetEagerPacket):
             yield from self._sw_overhead()
+            span = None
+            if obs.enabled:
+                span = obs.begin(
+                    "msg.recv", kind="msg", track=f"core{self.core}",
+                    parent=getattr(pkt, "span", None), src=pkt.src,
+                    nbytes=pkt.nbytes, path="net-eager",
+                )
             if pkt.nbytes:
                 # Drain the NIC's receive-side bounce buffer, then hand
                 # it back to the preposted pool.
                 yield from cpu_copy(
-                    machine, self.core, _clip_views(views, pkt.nbytes), [pkt.staged]
+                    machine, self.core, _clip_views(views, pkt.nbytes),
+                    [pkt.staged], parent=span,
                 )
                 pkt.release()
             self.endpoint.eager_received += 1
+            obs.end(span)
             return Status(self._to_local(pkt.src), pkt.tag, pkt.nbytes, "net-eager")
 
         if isinstance(pkt, RtsPacket):
             backend = self.world.policy.backend(pkt.backend)
+            recv_span = None
+            if obs.enabled:
+                recv_span = obs.begin(
+                    "msg.recv", kind="msg", track=f"core{self.core}",
+                    parent=pkt.span, src=pkt.src, nbytes=pkt.nbytes,
+                    backend=pkt.backend, path="rndv",
+                )
             side = TransferSide(
                 self.world,
                 self.world_rank,
@@ -369,6 +453,7 @@ class Communicator:
                 pkt.nbytes,
                 pkt.txn,
             )
+            side.span = recv_span
             try:
                 cts_info = yield from backend.receiver_prepare(side, pkt.info)
             except RegistrationError:
@@ -379,17 +464,23 @@ class Communicator:
                     raise
                 backend = fallback
                 side.scratch.clear()
+                obs.annotate(recv_span, backend=backend.name, downgraded=True)
                 cts_info = yield from backend.receiver_prepare(side, pkt.info)
                 # Tell the sender which backend actually runs.
                 cts_info = dict(cts_info)
                 cts_info["backend"] = backend.name
             self.world.deliver(
-                self.world_rank, pkt.src, CtsPacket(txn=pkt.txn, info=cts_info)
+                self.world_rank, pkt.src,
+                CtsPacket(txn=pkt.txn, info=cts_info, span=recv_span),
             )
             path = yield from backend.receiver_transfer(side, pkt.info)
             if backend.receiver_sends_done:
-                self.world.deliver(self.world_rank, pkt.src, DonePacket(txn=pkt.txn))
+                self.world.deliver(
+                    self.world_rank, pkt.src,
+                    DonePacket(txn=pkt.txn, span=recv_span),
+                )
             self.endpoint.rndv_received += 1
+            obs.end(recv_span, path=path)
             return Status(self._to_local(pkt.src), pkt.tag, pkt.nbytes, path)
 
         raise MpiError(f"unexpected packet {pkt!r}")
@@ -488,70 +579,102 @@ class Communicator:
         return impl()
 
     # -------------------------------------------------------- collectives
+    def _coll(self, name: str, gen):
+        """Wrap a collective's generator in a ``coll`` phase span.
+
+        Point-to-point sends this rank starts while the collective is
+        open parent to it (``_active_coll``), so a collective's message
+        trees hang off one phase span per rank.
+        """
+        obs = self.world.engine.obs
+        if not obs.enabled:
+            return gen
+
+        def impl():
+            span = obs.begin(
+                f"coll.{name}", kind="coll", track=f"core{self.core}",
+                parent=self._active_coll, rank=self.rank,
+            )
+            prev = self._active_coll
+            self._active_coll = span
+            try:
+                result = yield from gen
+            finally:
+                self._active_coll = prev
+                obs.end(span)
+            return result
+
+        return impl()
+
     def Barrier(self):
         from repro.mpi.coll.barrier import barrier
 
-        return barrier(self)
+        return self._coll("barrier", barrier(self))
 
     def Bcast(self, buf: BufLike, root: int = 0):
         from repro.mpi.coll.bcast import bcast
 
-        return bcast(self, buf, root)
+        return self._coll("bcast", bcast(self, buf, root))
 
     def Reduce(self, sendbuf, recvbuf, root: int = 0, op=None, dtype=None):
         from repro.mpi.coll.reduce import reduce as _reduce
 
-        return _reduce(self, sendbuf, recvbuf, root, op, dtype)
+        return self._coll("reduce", _reduce(self, sendbuf, recvbuf, root, op, dtype))
 
     def Allreduce(self, sendbuf, recvbuf, op=None, dtype=None):
         from repro.mpi.coll.reduce import allreduce
 
-        return allreduce(self, sendbuf, recvbuf, op, dtype)
+        return self._coll("allreduce", allreduce(self, sendbuf, recvbuf, op, dtype))
 
     def Gather(self, sendbuf, recvbuf, root: int = 0):
         from repro.mpi.coll.gather import gather
 
-        return gather(self, sendbuf, recvbuf, root)
+        return self._coll("gather", gather(self, sendbuf, recvbuf, root))
 
     def Scatter(self, sendbuf, recvbuf, root: int = 0):
         from repro.mpi.coll.gather import scatter
 
-        return scatter(self, sendbuf, recvbuf, root)
+        return self._coll("scatter", scatter(self, sendbuf, recvbuf, root))
 
     def Allgather(self, sendbuf, recvbuf):
         from repro.mpi.coll.allgather import allgather
 
-        return allgather(self, sendbuf, recvbuf)
+        return self._coll("allgather", allgather(self, sendbuf, recvbuf))
 
     def Alltoall(self, sendbuf, recvbuf):
         from repro.mpi.coll.alltoall import alltoall
 
-        return alltoall(self, sendbuf, recvbuf)
+        return self._coll("alltoall", alltoall(self, sendbuf, recvbuf))
 
     def Alltoallv(self, sendbuf, send_counts, recvbuf, recv_counts):
         from repro.mpi.coll.alltoall import alltoallv
 
-        return alltoallv(self, sendbuf, send_counts, recvbuf, recv_counts)
+        return self._coll(
+            "alltoallv", alltoallv(self, sendbuf, send_counts, recvbuf, recv_counts)
+        )
 
     def Gatherv(self, sendbuf, recvbuf, counts, root: int = 0):
         from repro.mpi.coll.vector import gatherv
 
-        return gatherv(self, sendbuf, recvbuf, counts, root)
+        return self._coll("gatherv", gatherv(self, sendbuf, recvbuf, counts, root))
 
     def Scatterv(self, sendbuf, recvbuf, counts, root: int = 0):
         from repro.mpi.coll.vector import scatterv
 
-        return scatterv(self, sendbuf, recvbuf, counts, root)
+        return self._coll("scatterv", scatterv(self, sendbuf, recvbuf, counts, root))
 
     def Allgatherv(self, sendbuf, recvbuf, counts):
         from repro.mpi.coll.vector import allgatherv
 
-        return allgatherv(self, sendbuf, recvbuf, counts)
+        return self._coll("allgatherv", allgatherv(self, sendbuf, recvbuf, counts))
 
     def Reduce_scatter_block(self, sendbuf, recvbuf, op=None, dtype=None):
         from repro.mpi.coll.reduce import reduce_scatter_block
 
-        return reduce_scatter_block(self, sendbuf, recvbuf, op, dtype)
+        return self._coll(
+            "reduce_scatter",
+            reduce_scatter_block(self, sendbuf, recvbuf, op, dtype),
+        )
 
 
 class PersistentRequest:

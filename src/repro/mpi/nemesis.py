@@ -46,6 +46,9 @@ class EagerPacket:
     nbytes: int
     cell: Optional[Buffer]  # None for zero-byte messages
     cid: int = 0  # communicator context id
+    #: Observability parent (the sender's ``msg.send`` span), so the
+    #: receive side joins the same causal tree.
+    span: Any = None
 
 
 @dataclass
@@ -59,6 +62,7 @@ class RtsPacket:
     backend: str
     info: dict = field(default_factory=dict)
     cid: int = 0
+    span: Any = None
 
 
 @dataclass
@@ -67,6 +71,7 @@ class CtsPacket:
 
     txn: int
     info: dict = field(default_factory=dict)
+    span: Any = None
 
 
 @dataclass
@@ -74,6 +79,7 @@ class DonePacket:
     """Transfer complete: releases the sender's buffer/cookie."""
 
     txn: int
+    span: Any = None
 
 
 @dataclass
@@ -86,6 +92,7 @@ class SelfPacket:
     views: list
     copied: Event | None = None  # sender may wait for the pickup
     cid: int = 0
+    span: Any = None
 
 
 from repro.net.protocol import NetEagerPacket

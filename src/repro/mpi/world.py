@@ -292,6 +292,9 @@ class MpiRunResult:
     elapsed: float
     machine: Machine
     world: MpiWorld
+    #: The run's :class:`repro.obs.ObsCollector` (finalized: metrics
+    #: absorbed, configured exports written).
+    obs: Any = None
 
     @property
     def papi(self):
@@ -320,6 +323,7 @@ def run_mpi(
     coll_tuning: Optional[CollTuning] = None,
     noise=None,
     faults=None,
+    obs=None,
 ) -> MpiRunResult:
     """Run ``main(ctx)`` on ``nprocs`` simulated ranks.
 
@@ -339,8 +343,13 @@ def run_mpi(
         On a single node only the capability masks matter: a rank pair
         whose node lacks ``knem``/``vmsplice`` transparently degrades
         down the LMT chain.
+    obs:
+        A :class:`repro.obs.ObsConfig` (or prebuilt
+        :class:`~repro.obs.ObsCollector`) enabling causal spans and the
+        metrics registry; the finalized collector lands in
+        ``MpiRunResult.obs``.
     """
-    engine = Engine(trace=trace)
+    engine = Engine(trace=trace, obs=obs)
     machine = Machine(engine, topo)
     capabilities = None
     if faults is not None:
@@ -363,9 +372,11 @@ def run_mpi(
         engine.process(main(ctx), name=f"rank{ctx.rank}") for ctx in contexts
     ]
     engine.run(until=until)
+    engine.obs.finalize(world)
     return MpiRunResult(
         results=[p.result for p in processes],
         elapsed=engine.now,
         machine=machine,
         world=world,
+        obs=engine.obs,
     )

@@ -40,7 +40,7 @@ class NicRdmaLmt(LmtBackend):
     # ------------------------------------------------------------ sender
     def sender_start(self, side: TransferSide):
         nic = side.world.nic_of(side.rank)
-        yield from nic.register(side.core, side.views)
+        yield from nic.register(side.core, side.views, parent=side.span)
         # Posting the RTS send is one more doorbell.
         yield from nic.charge_cpu(side.core, nic.params.t_doorbell)
         return {}
@@ -62,6 +62,13 @@ class NicRdmaLmt(LmtBackend):
                 )
             )
         arrival = cts_info["arrival"]
+        obs = side.engine.obs
+        cmd_span = None
+        if obs.enabled:
+            cmd_span = obs.begin(
+                "rdma.write", kind="cmd", track=f"core{side.core}",
+                parent=side.span, nbytes=side.nbytes, dst=cts_info["node"],
+            )
         request = NicRequest(
             dst_node=cts_info["node"],
             descriptors=descriptors,
@@ -69,16 +76,18 @@ class NicRdmaLmt(LmtBackend):
             ack=True,
             on_delivered=lambda _req: arrival.succeed(),
             kind="rdma",
+            span=cmd_span,
         )
         yield from nic.charge_cpu(side.core, nic.submission_cost(request))
         nic.submit(request)
         # Zero-CPU from here: park until the hardware ack returns.
         yield request.done
+        obs.end(cmd_span)
 
     # ---------------------------------------------------------- receiver
     def receiver_prepare(self, side: TransferSide, rts_info: dict):
         nic = side.world.nic_of(side.rank)
-        yield from nic.register(side.core, side.views)
+        yield from nic.register(side.core, side.views, parent=side.span)
         yield from nic.charge_cpu(side.core, nic.params.t_doorbell)
         arrival = side.engine.event(f"rdma.arrive.txn{side.txn}")
         side.scratch["arrival"] = arrival
@@ -139,11 +148,20 @@ class NicStagedLmt(LmtBackend):
         engine = side.engine
         chunks: Channel = cts_info["chunks"]
         dst_node = cts_info["node"]
+        obs = engine.obs
         offset = 0
-        for piece in _iovec_pieces(side.views, nic.params.eager_max):
+        for seq, piece in enumerate(_iovec_pieces(side.views, nic.params.eager_max)):
+            chunk_span = None
+            if obs.enabled:
+                chunk_span = obs.begin(
+                    "staged.chunk", kind="chunk", track=f"core{side.core}",
+                    parent=side.span, seq=seq, nbytes=piece.nbytes,
+                )
             bounce = yield nic.tx_bounce.get()
             stage = bounce.view(0, piece.nbytes)
-            yield from cpu_copy(nic.machine, side.core, [stage], [piece])
+            yield from cpu_copy(
+                nic.machine, side.core, [stage], [piece], parent=chunk_span
+            )
             request = NicRequest(
                 dst_node=dst_node,
                 descriptors=nic.build_descriptors(
@@ -156,9 +174,11 @@ class NicStagedLmt(LmtBackend):
                 tx_release=(lambda b=bounce: nic.tx_bounce.put(b)),
                 on_delivered=(lambda req, off=offset: chunks.put((off, req))),
                 kind="staged",
+                span=chunk_span,
             )
             yield from nic.charge_cpu(side.core, nic.submission_cost(request))
             nic.submit(request)
+            obs.end(chunk_span)
             offset += piece.nbytes
         # Completion is the receiver's DONE (receiver_sends_done): the
         # last TX bounce is only recycled once its bytes were staged.
@@ -177,7 +197,9 @@ class NicStagedLmt(LmtBackend):
         while remaining > 0:
             offset, request = yield chunks.get()
             dsts = _slice_iovec(side.views, offset, request.payload_nbytes)
-            yield from cpu_copy(machine, side.core, dsts, [request.rx_view])
+            yield from cpu_copy(
+                machine, side.core, dsts, [request.rx_view], parent=side.span
+            )
             request.rx_release()
             remaining -= request.payload_nbytes
         return self.name

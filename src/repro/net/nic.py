@@ -109,6 +109,10 @@ class NicRequest:
     rx_count: int = 0
     rto_handle: object = None
     rto_value: float = 0.0
+    #: Observability parent: the logical send this request implements
+    #: (``rdma.write``, ``msg.send``...).  Each transmission attempt
+    #: becomes a sibling ``attempt`` span under it.
+    span: object = None
 
     @property
     def nbytes(self) -> int:
@@ -204,7 +208,7 @@ class Nic:
         self.requests_tx += 1
         self._tx_queue.put(request)
 
-    def send_ctrl(self, dst_node: int, on_delivered) -> NicRequest:
+    def send_ctrl(self, dst_node: int, on_delivered, parent=None) -> NicRequest:
         """Fire a control packet (RTS/CTS/headers) at ``dst_node``."""
         request = NicRequest(
             dst_node=dst_node,
@@ -212,12 +216,13 @@ class Nic:
             done=self.engine.event(f"nic{self.node}.ctrl"),
             on_delivered=on_delivered,
             kind="ctrl",
+            span=parent,
         )
         self.submit(request)
         return request
 
     # ---------------------------------------------------- registration
-    def register(self, core: int, views) -> "Generator":  # noqa: F821
+    def register(self, core: int, views, parent=None) -> "Generator":  # noqa: F821
         """Pin ``views`` and install NIC translation entries (generator,
         charged on ``core``).  Cached: re-registering is free.
 
@@ -235,7 +240,15 @@ class Nic:
             )
         pages = self.regcache.lookup_pages_to_pin(list(views))
         cost = self.machine.params.t_syscall + pages * self.params.t_reg_page
+        obs = self.engine.obs
+        span = None
+        if obs.enabled:
+            span = obs.begin(
+                "nic.register", kind="pin", track=f"core{core}",
+                parent=parent, pages=pages, node=self.node,
+            )
         yield from self.charge_cpu(core, cost)
+        obs.end(span)
 
     def charge_cpu(self, core: int, seconds: float):
         """Burn CPU on one of this node's cores (generator)."""
@@ -257,11 +270,19 @@ class Nic:
     def _tx_run(self):
         machine = self.machine
         line = CACHE_LINE
+        obs = self.engine.obs
         while True:
             request: NicRequest = yield self._tx_queue.get()
             if request.delivered:
                 # A queued retransmission made obsolete by a late ack.
                 continue
+            attempt_span = None
+            if obs.enabled:
+                attempt_span = obs.begin(
+                    "nic.attempt", kind="attempt", track=f"nic{self.node}.tx",
+                    parent=request.span, attempt=request.retries,
+                    seq=request.seq, dst=request.dst_node, req=request.kind,
+                )
             for desc in request.descriptors:
                 if desc.src_phys >= 0:
                     # The NIC DMA-reads user memory: dirty lines flush.
@@ -270,9 +291,16 @@ class Nic:
                     flushed = machine.coherence.dma_read(l0, l1)
                     machine.memory.charge_writebacks(flushed * line)
                 t0 = self.engine.now
+                wire_span = None
+                if obs.enabled:
+                    wire_span = obs.begin(
+                        "nic.tx", kind="wire", track=f"nic{self.node}.tx",
+                        parent=attempt_span, nbytes=desc.nbytes,
+                    )
                 wire = self.engine.timer(self._wire_time(request, desc))
                 bus = machine.memory.dram_transfer(desc.nbytes)
                 yield AllOf(self.engine, [wire, bus])
+                obs.end(wire_span)
                 self.bytes_tx += desc.nbytes
                 if self.engine.tracer.enabled:
                     self.engine.tracer.emit(
@@ -285,6 +313,7 @@ class Nic:
                         end=self.engine.now,
                     )
                 self.fabric.switch.ingress(self.node, request, desc, request.retries)
+            obs.end(attempt_span)
             if self._reliable and not request.delivered:
                 self._arm_rto(request)
             if not request.ack and not request.done.triggered:
@@ -331,6 +360,11 @@ class Nic:
         self.backoff_seconds += request.rto_value
         request.retries += 1
         self.retransmits += 1
+        if self.engine.obs.enabled:
+            self.engine.obs.instant(
+                "nic.retransmit", track=f"nic{self.node}.tx",
+                parent=request.span, seq=request.seq, attempt=request.retries,
+            )
         if self.engine.tracer.enabled:
             self.engine.tracer.emit(
                 self.engine.now,
@@ -356,6 +390,7 @@ class Nic:
     def _rx_run(self):
         machine = self.machine
         line = CACHE_LINE
+        obs = self.engine.obs
         while True:
             request, desc, corrupt, attempt = yield self._rx_queue.get()
             if attempt != request.rx_attempt:
@@ -370,7 +405,15 @@ class Nic:
                 l0 = desc.dst_phys // line
                 l1 = l0 + ceil_div(desc.nbytes, line)
                 machine.coherence.dma_write(l0, l1)
+            rx_span = None
+            if obs.enabled:
+                rx_span = obs.begin(
+                    "nic.rx", kind="wire", track=f"nic{self.node}.rx",
+                    parent=request.span, nbytes=desc.nbytes,
+                    src=request.src_node,
+                )
             yield machine.memory.dram_transfer(desc.nbytes)
+            obs.end(rx_span)
             if corrupt:
                 # The bytes arrived (and cost the bus) but fail the
                 # integrity check: taint the in-flight transmission and
@@ -396,6 +439,12 @@ class Nic:
                         self.rx_corrupt_discards += 1
                     else:
                         self.rx_incomplete_discards += 1
+                    if obs.enabled:
+                        obs.instant(
+                            "nic.rx_discard", track=f"nic{self.node}.rx",
+                            parent=request.span, seq=request.seq,
+                            why="corrupt" if corrupted else "incomplete",
+                        )
                     if self.engine.tracer.enabled:
                         self.engine.tracer.emit(
                             self.engine.now,
@@ -431,6 +480,11 @@ class Nic:
                 )
             return
         request.delivered = True
+        if self.engine.obs.enabled:
+            self.engine.obs.instant(
+                "nic.delivered", track=f"nic{self.node}.rx",
+                parent=request.span, seq=request.seq, req=request.kind,
+            )
         if request.rto_handle is not None:
             # Cancel the sender's timer synchronously — no extra
             # simulated event, so a zero-rate fault plan leaves the

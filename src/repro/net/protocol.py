@@ -43,6 +43,8 @@ class NetEagerPacket:
     staged: Optional[BufferView] = None
     release: Optional[Callable[[], None]] = None
     cid: int = 0
+    #: Observability parent (the sender's ``msg.send`` span).
+    span: object = None
 
 
 def send_eager(comm, views: list[BufferView], nbytes: int, dest_world: int, tag: int):
@@ -54,6 +56,14 @@ def send_eager(comm, views: list[BufferView], nbytes: int, dest_world: int, tag:
     world = comm.world
     nic = world.nic_of(comm.world_rank)
     engine = world.engine
+    obs = engine.obs
+    msg_span = None
+    if obs.enabled:
+        msg_span = obs.begin(
+            "msg.send", kind="msg", track=f"core{comm.core}",
+            parent=getattr(comm, "_active_coll", None),
+            dst=dest_world, nbytes=nbytes, tag=tag, path="net-eager",
+        )
     yield from comm._sw_overhead()
 
     bounce = None
@@ -63,9 +73,11 @@ def send_eager(comm, views: list[BufferView], nbytes: int, dest_world: int, tag:
         # here once all bounce buffers are in flight.
         bounce = yield nic.tx_bounce.get()
         stage = bounce.view(0, nbytes)
-        yield from cpu_copy(nic.machine, comm.core, [stage], views)
+        yield from cpu_copy(nic.machine, comm.core, [stage], views, parent=msg_span)
 
-    pkt = NetEagerPacket(src=comm.world_rank, tag=tag, nbytes=nbytes, cid=comm.cid)
+    pkt = NetEagerPacket(
+        src=comm.world_rank, tag=tag, nbytes=nbytes, cid=comm.cid, span=msg_span
+    )
 
     def on_delivered(request: NicRequest) -> None:
         pkt.staged = request.rx_view
@@ -85,7 +97,9 @@ def send_eager(comm, views: list[BufferView], nbytes: int, dest_world: int, tag:
         tx_release=(lambda: nic.tx_bounce.put(bounce)) if bounce is not None else None,
         on_delivered=on_delivered,
         kind="eager",
+        span=msg_span,
     )
     yield from nic.charge_cpu(comm.core, nic.submission_cost(request))
     nic.submit(request)
     yield request.done
+    obs.end(msg_span)

@@ -1,0 +1,234 @@
+"""Span exporters: Chrome trace-event / Perfetto JSON, and JSONL.
+
+The Chrome format (loadable at ``ui.perfetto.dev`` or
+``chrome://tracing``) models one process with one thread ("track") per
+simulated resource: ``core0``..``coreN``, ``dma.ch0``.., ``nic0``..,
+``wire``.  Two event styles:
+
+* leaf *work* spans (:data:`~repro.obs.phases.WORK_KINDS`) become
+  synchronous ``ph="B"``/``ph="E"`` pairs — they occupy a resource and
+  nest properly;
+* *structural* spans (``msg``/``coll``/``handshake``/``cmd``/
+  ``chunk``/``attempt``) become async ``ph="b"``/``ph="e"`` events
+  keyed by ``id`` — two messages can be open on a core at once (a
+  ``Sendrecv``) and must not corrupt the B/E stack;
+* ``instant`` spans become ``ph="i"`` markers.
+
+Timestamps are sim-time converted to integer-ish microseconds.  The
+``args`` of each event carry the span attrs plus ``span_id`` /
+``parent_id`` / ``trace_id``, so causality survives the export.
+
+:func:`validate_chrome_trace` is the schema check CI runs on the smoke
+trace: monotonic timestamps, per-track B/E pairs that balance, async
+begin/end matched by id.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Iterable, List
+
+from repro.errors import SimulationError
+from repro.obs.phases import WORK_KINDS
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "jsonl_lines",
+    "write_jsonl",
+    "validate_chrome_trace",
+]
+
+_PID = 1
+_SEC_TO_US = 1e6
+
+# Track lanes sort by resource class, then by instance number.
+_TRACK_ORDER = {"core": 0, "dma": 1, "nic": 2, "wire": 3}
+
+
+def _track_key(track: str):
+    m = re.match(r"[a-z]+", track)
+    cls = m.group(0) if m else track
+    nums = re.findall(r"\d+", track)
+    idx = int(nums[0]) if nums else 0
+    return (_TRACK_ORDER.get(cls, 9), cls, idx, track)
+
+
+def _tid_map(spans: Iterable) -> dict:
+    tracks = sorted({s.track for s in spans}, key=_track_key)
+    return {track: tid for tid, track in enumerate(tracks)}
+
+
+def _args(span) -> dict:
+    args = {"span_id": span.span_id, "trace_id": span.trace_id}
+    if span.parent_id is not None:
+        args["parent_id"] = span.parent_id
+    args.update(span.attrs)
+    return args
+
+
+def chrome_trace(spans: Iterable) -> dict:
+    """Build the ``{"traceEvents": [...]}`` document for a span list.
+
+    Open spans (``end is None`` — a run that stopped at ``until=``)
+    are skipped rather than exported half-formed.
+    """
+    spans = list(spans)
+    tids = _tid_map(spans)
+    events: List[dict] = []
+    for track, tid in tids.items():
+        events.append(
+            {
+                "ph": "M",
+                "pid": _PID,
+                "tid": tid,
+                "name": "thread_name",
+                "args": {"name": track},
+            }
+        )
+        events.append(
+            {
+                "ph": "M",
+                "pid": _PID,
+                "tid": tid,
+                "name": "thread_sort_index",
+                "args": {"sort_index": tid},
+            }
+        )
+
+    timed: List[tuple] = []
+    for span in spans:
+        tid = tids[span.track]
+        ts = span.start * _SEC_TO_US
+        base = {"pid": _PID, "tid": tid, "name": span.name, "cat": span.kind}
+        if span.kind == "instant":
+            timed.append(
+                (ts, 1, span.span_id, 0, {**base, "ph": "i", "ts": ts, "s": "t",
+                                          "args": _args(span)})
+            )
+            continue
+        if span.end is None:
+            continue
+        end_ts = span.end * _SEC_TO_US
+        # Ends sort before begins at equal ts so zero-gap back-to-back
+        # spans on one track keep a balanced B/E stack — except a
+        # zero-duration span, whose end must stay after its own begin
+        # (final tuple slot breaks the tie within one span).
+        end_pri = 0 if end_ts > ts else 1
+        if span.kind in WORK_KINDS:
+            timed.append(
+                (ts, 1, span.span_id, 0, {**base, "ph": "B", "ts": ts,
+                                          "args": _args(span)})
+            )
+            timed.append(
+                (end_ts, end_pri, span.span_id, 1,
+                 {**base, "ph": "E", "ts": end_ts})
+            )
+        else:
+            ident = f"0x{span.span_id:x}"
+            timed.append(
+                (ts, 1, span.span_id, 0, {**base, "ph": "b", "ts": ts,
+                                          "id": ident, "args": _args(span)})
+            )
+            timed.append(
+                (end_ts, end_pri, span.span_id, 1,
+                 {**base, "ph": "e", "ts": end_ts, "id": ident})
+            )
+    timed.sort(key=lambda item: item[:4])
+    events.extend(ev for *_, ev in timed)
+    return {"traceEvents": events, "displayTimeUnit": "ns"}
+
+
+def write_chrome_trace(spans: Iterable, path) -> None:
+    doc = chrome_trace(spans)
+    with open(path, "w") as fh:
+        json.dump(doc, fh)
+
+
+def jsonl_lines(spans: Iterable) -> Iterable[str]:
+    """Compact one-span-per-line stream (closed and open spans alike)."""
+    for span in spans:
+        yield json.dumps(
+            {
+                "span_id": span.span_id,
+                "trace_id": span.trace_id,
+                "parent_id": span.parent_id,
+                "name": span.name,
+                "kind": span.kind,
+                "track": span.track,
+                "start": span.start,
+                "end": span.end,
+                "attrs": span.attrs,
+            },
+            sort_keys=True,
+        )
+
+
+def write_jsonl(spans: Iterable, path) -> None:
+    with open(path, "w") as fh:
+        for line in jsonl_lines(spans):
+            fh.write(line + "\n")
+
+
+def validate_chrome_trace(doc: dict) -> dict:
+    """Schema-check an exported document; raise SimulationError on violation.
+
+    Checks: a ``traceEvents`` list exists; timestamps are finite,
+    non-negative, and globally monotonic in list order; every sync
+    ``B`` has a matching ``E`` on the same track with depth never
+    going negative and ending at zero; every async ``b`` has exactly
+    one matching ``e`` per id.  Returns summary stats for smoke-test
+    logs.
+    """
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        raise SimulationError("trace has no traceEvents list")
+
+    last_ts = None
+    depth: dict = {}
+    open_async: dict = {}
+    counts = {"B": 0, "E": 0, "b": 0, "e": 0, "i": 0, "M": 0}
+    for i, ev in enumerate(events):
+        ph = ev.get("ph")
+        if ph not in counts:
+            raise SimulationError(f"event {i}: unknown ph {ph!r}")
+        counts[ph] += 1
+        if ph == "M":
+            continue
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            raise SimulationError(f"event {i}: bad ts {ts!r}")
+        if last_ts is not None and ts < last_ts:
+            raise SimulationError(
+                f"event {i}: ts {ts} < previous {last_ts} (not monotonic)"
+            )
+        last_ts = ts
+        tid = ev.get("tid")
+        if ph == "B":
+            depth[tid] = depth.get(tid, 0) + 1
+        elif ph == "E":
+            depth[tid] = depth.get(tid, 0) - 1
+            if depth[tid] < 0:
+                raise SimulationError(f"event {i}: E without B on tid {tid}")
+        elif ph == "b":
+            key = (ev.get("cat"), ev.get("id"))
+            open_async[key] = open_async.get(key, 0) + 1
+        elif ph == "e":
+            key = (ev.get("cat"), ev.get("id"))
+            if not open_async.get(key):
+                raise SimulationError(f"event {i}: async e without b for {key}")
+            open_async[key] -= 1
+    unbalanced = {tid: d for tid, d in depth.items() if d}
+    if unbalanced:
+        raise SimulationError(f"unmatched B events on tids {unbalanced}")
+    dangling = {k: n for k, n in open_async.items() if n}
+    if dangling:
+        raise SimulationError(f"unmatched async b events: {dangling}")
+    return {
+        "events": len(events),
+        "tracks": counts["M"] // 2,
+        "sync_pairs": counts["B"],
+        "async_pairs": counts["b"],
+        "instants": counts["i"],
+    }

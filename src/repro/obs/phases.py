@@ -1,0 +1,50 @@
+"""Per-phase sim-time attribution: where did the microseconds go?
+
+The paper's argument is a *phase* argument — large-message cost is
+copy time vs syscall time vs pinning time vs DMA time — so stored
+benchmark JSON carries a ``phase_breakdown`` block: total sim-seconds
+(and bytes, where meaningful) per work kind, summed over leaf spans.
+
+Only the leaf *work* kinds are summed.  Structural kinds (``msg``,
+``handshake``, ``cmd``, ``chunk``, ``attempt``, ``coll``) contain
+their children's work and would double-count it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+__all__ = ["WORK_KINDS", "STRUCTURAL_KINDS", "phase_breakdown"]
+
+# Leaf spans: real resource occupancy; durations are additive.
+WORK_KINDS = ("copy", "syscall", "pin", "dma", "wire", "compute")
+
+# Containers: exported as async events, excluded from attribution.
+STRUCTURAL_KINDS = ("msg", "coll", "handshake", "cmd", "chunk", "attempt")
+
+
+def phase_breakdown(spans: Iterable) -> dict:
+    """Sum closed leaf-span durations by kind.
+
+    Returns ``{kind: {"seconds": s, "count": n, "nbytes": b}}`` for
+    each work kind that appears, plus a ``"total"`` entry covering all
+    work kinds.  ``nbytes`` sums the spans' ``nbytes`` attrs (0 for
+    kinds that carry none, e.g. ``syscall``).
+    """
+    by_kind: dict = {
+        k: {"seconds": 0.0, "count": 0, "nbytes": 0} for k in WORK_KINDS
+    }
+    for span in spans:
+        if span.kind not in by_kind or span.end is None:
+            continue
+        entry = by_kind[span.kind]
+        entry["seconds"] += span.end - span.start
+        entry["count"] += 1
+        entry["nbytes"] += int(span.attrs.get("nbytes") or 0)
+    out = {k: v for k, v in by_kind.items() if v["count"]}
+    out["total"] = {
+        "seconds": sum(v["seconds"] for v in out.values()),
+        "count": sum(v["count"] for v in out.values()),
+        "nbytes": sum(v["nbytes"] for v in out.values()),
+    }
+    return out

@@ -6,6 +6,7 @@ import heapq
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from repro.errors import DeadlockError, LivelockError, SimulationError
+from repro.obs.spans import ObsCollector
 from repro.sim.events import Event, Timeout
 from repro.sim.trace import Tracer
 
@@ -45,6 +46,7 @@ class Engine:
         trace: bool = False,
         max_events: Optional[int] = None,
         max_sim_time: Optional[float] = None,
+        obs=None,
     ) -> None:
         self.now: float = 0.0
         self._heap: list[Handle] = []
@@ -52,6 +54,11 @@ class Engine:
         self._alive_processes: set = set()
         self._failed: list[BaseException] = []
         self.tracer = Tracer(enabled=trace)
+        #: Observability collector (:mod:`repro.obs`).  ``obs`` may be
+        #: ``None`` (inert), an :class:`~repro.obs.config.ObsConfig`,
+        #: or a ready-made collector; sites guard emission with
+        #: ``if engine.obs.enabled:`` just like the tracer.
+        self.obs = ObsCollector.attach(obs, clock=lambda: self.now)
         #: Progress-watchdog budgets: exceeding either raises
         #: :class:`LivelockError` from :meth:`run` instead of spinning
         #: forever (e.g. a retransmission loop that stops converging).

@@ -32,6 +32,12 @@ class Tracer:
     """Collects trace records and fans them out to subscribers."""
 
     def __init__(self, enabled: bool = False, capacity: Optional[int] = None) -> None:
+        """``capacity`` bounds *retention*, not delivery: with
+        ``capacity=N`` only the newest N records remain readable via
+        :attr:`records` / :meth:`of_kind`, but **every** emitted record
+        is still handed to every subscriber at emit time — even with
+        ``capacity=1`` (or 0), a subscriber observes the full stream.
+        Subscribers that need history must keep their own."""
         self.enabled = enabled
         self.capacity = capacity
         # A bounded deque makes trimming O(1) per emit; with capacity
@@ -45,6 +51,11 @@ class Tracer:
         return list(self._records)
 
     def emit(self, time: float, kind: str, **fields: Any) -> None:
+        """Record one occurrence and fan it out to all subscribers.
+
+        Retention (the deque, bounded by ``capacity``) and delivery
+        (the subscriber callbacks) are independent: eviction of old
+        records never suppresses a callback."""
         if not self.enabled:
             return
         record = TraceRecord(time, kind, fields)

@@ -68,3 +68,32 @@ def test_timeline_dimensions():
     lanes = [l for l in text.splitlines() if l.startswith("core")]
     assert len(lanes) == 4
     assert all(len(l.split("|", 1)[1]) == 40 for l in lanes)
+
+
+def test_cluster_timeline_shows_nic_wire_lanes():
+    """Internode runs render one ``~`` lane per transmitting NIC, and
+    the window bounds include the wire spans (a pure-wire run used to
+    raise because _bounds only looked at copy/dma records)."""
+    from repro import ClusterSpec, run_cluster
+
+    def main(ctx):
+        comm = ctx.comm
+        buf = ctx.alloc(1 * MiB)
+        if ctx.rank == 0:
+            yield comm.Send(buf, dest=1)
+        else:
+            yield comm.Recv(buf, source=0)
+
+    spec = ClusterSpec(node=TOPO, nnodes=2)
+    r = run_cluster(spec, 2, main, bindings=[(0, 0), (1, 0)], trace=True)
+    text = render_timeline(r.machine.engine.tracer, ncores=2)
+    nic_lanes = [l for l in text.splitlines() if l.startswith("nic")]
+    assert nic_lanes and any("~" in l for l in nic_lanes)
+    assert "~ nic wire" in text.splitlines()[-1]
+
+
+def test_intranode_timeline_has_no_nic_lane_or_legend():
+    r = _traced_run("knem")
+    text = render_timeline(r.machine.engine.tracer, ncores=8)
+    assert not any(l.startswith("nic") for l in text.splitlines())
+    assert "~ nic wire" not in text

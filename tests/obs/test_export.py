@@ -1,0 +1,161 @@
+"""Exporters: Chrome trace-event JSON, JSONL, and the schema validator."""
+
+import json
+
+import pytest
+
+from repro import ObsConfig, run_mpi
+from repro.bench.cli import main as cli_main
+from repro.errors import SimulationError
+from repro.hw import xeon_e5345
+from repro.obs import (
+    ObsCollector,
+    chrome_trace,
+    jsonl_lines,
+    validate_chrome_trace,
+)
+from repro.units import MiB
+
+TOPO = xeon_e5345()
+
+
+def _traced_run(mode="knem-ioat", **obs_kwargs):
+    def main(ctx):
+        comm = ctx.comm
+        buf = ctx.alloc(1 * MiB)
+        if ctx.rank == 0:
+            yield comm.Send(buf, dest=1)
+        else:
+            yield comm.Recv(buf, source=0)
+
+    return run_mpi(TOPO, 2, main, bindings=[0, 4], mode=mode,
+                   obs=ObsConfig(spans=True, **obs_kwargs))
+
+
+# ------------------------------------------------------- chrome trace
+def test_real_run_exports_valid_chrome_trace():
+    result = _traced_run()
+    doc = result.obs.chrome_trace()
+    stats = validate_chrome_trace(doc)
+    assert stats["sync_pairs"] > 0 and stats["async_pairs"] > 0
+    names = {
+        ev["args"]["name"]
+        for ev in doc["traceEvents"]
+        if ev["ph"] == "M" and ev["name"] == "thread_name"
+    }
+    # One track per core in play plus the DMA channel.
+    assert {"core0", "core4", "dma.ch0"} <= names
+
+
+def test_track_ordering_cores_before_dma_before_nic():
+    obs = ObsCollector(config=ObsConfig(spans=True))
+    for track in ("nic1.tx", "dma.ch0", "core4", "core0", "nic0.rx"):
+        obs.end(obs.begin("w", kind="copy", track=track))
+    doc = chrome_trace(obs.spans)
+    metas = [ev for ev in doc["traceEvents"]
+             if ev["ph"] == "M" and ev["name"] == "thread_name"]
+    ordered = [m["args"]["name"] for m in sorted(metas, key=lambda m: m["tid"])]
+    assert ordered == ["core0", "core4", "dma.ch0", "nic0.rx", "nic1.tx"]
+
+
+def test_open_spans_skipped_structural_spans_async():
+    obs = ObsCollector(config=ObsConfig(spans=True))
+    msg = obs.begin("msg.send", kind="msg", track="core0")
+    copy = obs.begin("cpu.copy", kind="copy", track="core0", parent=msg)
+    obs.end(copy)
+    obs.end(msg)
+    obs.begin("dangling", kind="copy", track="core0")  # never ended
+    events = chrome_trace(obs.spans)["traceEvents"]
+    phs = [ev["ph"] for ev in events if ev["ph"] not in "M"]
+    assert sorted(phs) == ["B", "E", "b", "e"]
+    assert not any(ev.get("name") == "dangling" for ev in events)
+    b = next(ev for ev in events if ev["ph"] == "b")
+    assert b["id"] == f"0x{msg.span_id:x}"
+    assert b["args"]["span_id"] == msg.span_id
+
+
+def test_zero_duration_span_keeps_begin_before_end():
+    """A span opened and closed at the same sim-time must still export
+    begin-before-end (the ends-first tiebreak used to invert the pair)."""
+    obs = ObsCollector(config=ObsConfig(spans=True))
+    obs.end(obs.begin("zero.msg", kind="msg", track="core0"))
+    obs.end(obs.begin("zero.copy", kind="copy", track="core0"))
+    validate_chrome_trace(chrome_trace(obs.spans))
+
+
+def test_timestamps_are_microseconds():
+    now = [0.0]
+    obs = ObsCollector(config=ObsConfig(spans=True), clock=lambda: now[0])
+    span = obs.begin("w", kind="copy", track="core0")
+    now[0] = 3e-6
+    obs.end(span)
+    events = chrome_trace(obs.spans)["traceEvents"]
+    begin = next(ev for ev in events if ev["ph"] == "B")
+    end = next(ev for ev in events if ev["ph"] == "E")
+    assert begin["ts"] == 0.0 and end["ts"] == pytest.approx(3.0)
+
+
+# --------------------------------------------------------- validator
+def _minimal(events):
+    return {"traceEvents": events}
+
+
+def test_validator_rejects_empty_and_nonmonotonic_and_unbalanced():
+    with pytest.raises(SimulationError):
+        validate_chrome_trace({})
+    with pytest.raises(SimulationError, match="monotonic"):
+        validate_chrome_trace(_minimal([
+            {"ph": "i", "ts": 2.0, "tid": 0, "s": "t"},
+            {"ph": "i", "ts": 1.0, "tid": 0, "s": "t"},
+        ]))
+    with pytest.raises(SimulationError, match="E without B"):
+        validate_chrome_trace(_minimal([{"ph": "E", "ts": 1.0, "tid": 0}]))
+    with pytest.raises(SimulationError, match="unmatched B"):
+        validate_chrome_trace(_minimal([{"ph": "B", "ts": 1.0, "tid": 0}]))
+    with pytest.raises(SimulationError, match="async e without b"):
+        validate_chrome_trace(_minimal([
+            {"ph": "e", "ts": 1.0, "tid": 0, "cat": "msg", "id": "0x1"},
+        ]))
+    with pytest.raises(SimulationError, match="unmatched async"):
+        validate_chrome_trace(_minimal([
+            {"ph": "b", "ts": 1.0, "tid": 0, "cat": "msg", "id": "0x1"},
+        ]))
+
+
+# ------------------------------------------------------------- jsonl
+def test_jsonl_roundtrips_every_span_including_open_ones():
+    obs = ObsCollector(config=ObsConfig(spans=True))
+    obs.end(obs.begin("a", kind="copy", track="core0", nbytes=64))
+    obs.begin("b", kind="msg", track="core0")  # open
+    rows = [json.loads(line) for line in jsonl_lines(obs.spans)]
+    assert len(rows) == 2
+    assert rows[0]["attrs"] == {"nbytes": 64}
+    assert rows[1]["end"] is None
+
+
+# ------------------------------------------------------ auto-export
+def test_config_paths_write_files_at_finalize(tmp_path):
+    chrome = tmp_path / "t.json"
+    jsonl = tmp_path / "t.jsonl"
+    result = _traced_run(chrome_path=str(chrome), jsonl_path=str(jsonl))
+    assert result.obs.finalized
+    stats = validate_chrome_trace(json.loads(chrome.read_text()))
+    assert stats["events"] > 0
+    assert len(jsonl.read_text().splitlines()) == len(result.obs.spans)
+
+
+# --------------------------------------------------------------- cli
+def test_cli_trace_subcommand(tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    assert cli_main(["trace", "--size", "256K", "--out", str(out),
+                     "--validate"]) == 0
+    text = capsys.readouterr().out
+    assert "trace OK" in text and "path=knem+ioat" in text
+    validate_chrome_trace(json.loads(out.read_text()))
+
+
+def test_cli_trace_cluster(tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    assert cli_main(["trace", "--cluster", "--size", "256K",
+                     "--out", str(out), "--validate"]) == 0
+    assert "nic+rdma" in capsys.readouterr().out

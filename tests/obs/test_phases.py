@@ -1,0 +1,81 @@
+"""Per-phase sim-time attribution (copy vs syscall vs pin vs dma vs wire)."""
+
+from repro import ObsConfig, run_mpi
+from repro.hw import xeon_e5345
+from repro.obs import (
+    STRUCTURAL_KINDS,
+    WORK_KINDS,
+    ObsCollector,
+    phase_breakdown,
+)
+from repro.units import MiB
+
+TOPO = xeon_e5345()
+
+
+def _pingpong(mode):
+    def main(ctx):
+        comm = ctx.comm
+        buf = ctx.alloc(1 * MiB)
+        if ctx.rank == 0:
+            yield comm.Send(buf, dest=1)
+        else:
+            yield comm.Recv(buf, source=0)
+
+    return run_mpi(TOPO, 2, main, bindings=[0, 4], mode=mode,
+                   obs=ObsConfig(spans=True))
+
+
+def test_kind_sets_are_disjoint():
+    assert not set(WORK_KINDS) & set(STRUCTURAL_KINDS)
+
+
+def test_breakdown_sums_work_kinds_only():
+    now = [0.0]
+    obs = ObsCollector(config=ObsConfig(spans=True), clock=lambda: now[0])
+    msg = obs.begin("msg.send", kind="msg", track="core0")
+    copy = obs.begin("cpu.copy", kind="copy", track="core0", parent=msg,
+                     nbytes=100)
+    now[0] = 1.0
+    obs.end(copy)
+    sc = obs.begin("knem.ioctl", kind="syscall", track="core0", parent=msg)
+    now[0] = 1.5
+    obs.end(sc)
+    obs.end(msg)  # structural: its 1.5s must NOT be double counted
+    obs.begin("open", kind="copy", track="core0")  # open: excluded
+    out = phase_breakdown(obs.spans)
+    assert set(out) == {"copy", "syscall", "total"}
+    assert out["copy"] == {"seconds": 1.0, "count": 1, "nbytes": 100}
+    assert out["syscall"]["seconds"] == 0.5
+    assert out["total"]["seconds"] == 1.5
+    assert out["total"]["count"] == 2
+
+
+def test_knem_ioat_time_goes_to_dma_not_copy():
+    out = _pingpong("knem-ioat").obs.phase_breakdown()
+    assert out["dma"]["seconds"] > 0
+    assert out["dma"]["nbytes"] == 1 * MiB
+    assert "pin" in out and "syscall" in out
+    assert "copy" not in out  # offloaded: no CPU memcpy at all
+
+
+def test_knem_mode_copies_on_cpu_instead():
+    out = _pingpong("knem").obs.phase_breakdown()
+    assert out["copy"]["seconds"] > 0
+    assert "dma" not in out
+
+
+def test_breakdown_lands_in_stored_benchmark_json():
+    import json
+
+    from repro.bench.harness import Series, Sweep
+    from repro.bench.reporting import format_json
+
+    result = _pingpong("knem-ioat")
+    sweep = Sweep(title="t", xlabel="x", ylabel="y",
+                  series=[Series(label="l", points=[(1, 2.0)])])
+    doc = json.loads(format_json(sweep, topology=TOPO, obs=result.obs))
+    block = doc["observability"]
+    assert block["phase_breakdown"]["dma"]["seconds"] > 0
+    assert block["metrics"]["DMA_BYTES"] == result.papi.total("DMA_BYTES")
+    assert block["spans"] == len(result.obs.spans)

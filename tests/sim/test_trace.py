@@ -36,6 +36,21 @@ def test_subscribers_get_records():
     assert len(seen) == 1 and seen[0].kind == "evt"
 
 
+def test_capacity_one_still_delivers_every_record_to_subscribers():
+    """Retention and delivery are independent: even with capacity=1,
+    eviction of old records never suppresses a subscriber callback."""
+    t = Tracer(enabled=True, capacity=1)
+    seen = []
+    t.subscribe(seen.append)
+    for i in range(10):
+        t.emit(float(i), "k", i=i)
+    assert [r.fields["i"] for r in seen] == list(range(10))
+    # Only the newest record is retained...
+    assert len(t.records) == 1 and t.records[0].fields["i"] == 9
+    # ...and of_kind reads retention, not the delivered stream.
+    assert [r.fields["i"] for r in t.of_kind("k")] == [9]
+
+
 def test_record_str_readable():
     r = TraceRecord(1e-6, "copy", {"nbytes": 64})
     assert "copy" in str(r) and "nbytes=64" in str(r)

@@ -37,6 +37,7 @@ def test_examples_directory_complete():
         "stencil_subcomms",
         "cluster_pingpong",
         "fault_injection",
+        "trace_viewer",
     } <= names
 
 
@@ -69,6 +70,23 @@ def test_fault_injection_runs(capsys):
     assert "retransmits" in out
     assert '"drops_injected"' in out
     assert "downgrade knem -> vmsplice" in out
+
+
+def test_trace_viewer_runs(capsys, tmp_path):
+    spec = importlib.util.spec_from_file_location(
+        "trace_viewer", EXAMPLES / "trace_viewer.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["trace_viewer"] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main(str(tmp_path / "trace.json"))
+    finally:
+        sys.modules.pop("trace_viewer", None)
+    out = capsys.readouterr().out
+    assert "is.B.8" in out and "spans" in out
+    assert "ui.perfetto.dev" in out
+    assert (tmp_path / "trace.json").exists()
 
 
 @pytest.mark.slow
