@@ -4,87 +4,54 @@ Beyond the paper: its intranode transfer strategies embedded in the
 multi-node setting they were built for.  Sweeps nodes x message size
 over the simulated fabric and checks the canonical shapes — internode
 latency floor, eager/rendezvous crossover, link-rate saturation, and
-the hierarchy-vs-flat allreduce win.  Results are rendered through the
-JSON reporter so each document carries its ``topology`` block.
+the hierarchy-vs-flat allreduce win.
+
+Ported onto the :mod:`repro.campaign` engine: every study is a
+declarative axis cross-product, records carry the trial seeds, and
+the fault sweep reads its resilience counters from the trial metrics.
 """
 
 import json
 
-import pytest
 from conftest import run_once
 
 from repro.bench.harness import Sweep
-from repro.bench.reporting import format_json, resilience_block
-from repro.faults import FaultPlan
+from repro.bench.reporting import format_json
+from repro.campaign import CampaignSpec, run_campaign
 from repro.hw import cluster_of
-from repro.mpi import run_cluster, run_mpi
-from repro.mpi.coll.tuning import CollTuning
-from repro.units import KiB, MiB, mib_per_s
+from repro.units import KiB, MiB
 
-SIZES = [4 * KiB, 64 * KiB, 256 * KiB, 1 * MiB]
-FLAT = CollTuning(hier_bcast_min=1 << 40, hier_allreduce_min=1 << 40)
-
-
-def _pingpong(nbytes, reps=2):
-    def main(ctx):
-        comm = ctx.comm
-        buf = ctx.alloc(nbytes)
-        peer = 1 - ctx.rank
-        status = None
-        start = None
-        for rep in range(reps + 1):
-            if rep == 1:
-                start = ctx.now
-            if ctx.rank == 0:
-                yield comm.Send(buf, dest=peer, tag=rep)
-                yield comm.Recv(buf, source=peer, tag=rep)
-            else:
-                status = yield comm.Recv(buf, source=peer, tag=rep)
-                yield comm.Send(buf, dest=peer, tag=rep)
-        if ctx.rank == 0:
-            return (ctx.now - start) / (2 * reps)
-        return status.path
-
-    return main
-
-
-def _allreduce(nbytes, reps=1):
-    def main(ctx):
-        from repro.mpi.coll.reduce import allreduce
-
-        a = ctx.alloc(nbytes)
-        b = ctx.alloc(nbytes)
-        a.data[:] = ctx.rank + 1
-        yield from allreduce(ctx.comm, a, b)  # warm scratch + caches
-        t0 = ctx.now
-        for _ in range(reps):
-            yield from allreduce(ctx.comm, a, b)
-        return (ctx.now - t0) / reps
-
-    return main
+SIZES = (4 * KiB, 64 * KiB, 256 * KiB, 1 * MiB)
 
 
 def test_cluster_pingpong_shapes(benchmark, topo):
     """Intranode vs internode pingpong across the size sweep: the wire
     adds a latency floor for small messages, flips eager->rendezvous at
     the fabric threshold, and caps large messages at the link rate."""
-    spec = cluster_of(topo, 2)
+    spec = CampaignSpec(
+        name="cluster-pingpong",
+        sizes=SIZES,
+        nnodes=(1, 2),
+        seeds=(0,),
+        noise_sigma=0.0,
+    )
 
     def run():
-        sweep = Sweep("cluster pingpong", "size", "MiB/s")
-        intra, inter = sweep.new_series("intranode"), sweep.new_series("internode")
-        paths = {}
-        for nbytes in SIZES:
-            r_intra = run_mpi(topo, 2, _pingpong(nbytes), bindings=[0, 1])
-            r_inter = run_cluster(spec, 2, _pingpong(nbytes), procs_per_node=1)
-            intra.add(nbytes, mib_per_s(nbytes, r_intra.results[0]))
-            inter.add(nbytes, mib_per_s(nbytes, r_inter.results[0]))
-            paths[nbytes] = r_inter.results[1]
-        return sweep, paths
+        return run_campaign(spec)
 
-    sweep, paths = run_once(benchmark, run)
-    doc = json.loads(format_json(sweep, topology=spec))
-    print("\n", format_json(sweep, topology=spec))
+    campaign = run_once(benchmark, run)
+    assert not campaign.failures, campaign.failures
+    sweep = Sweep("cluster pingpong", "size", "MiB/s", seeds=[0])
+    intra, inter = sweep.new_series("intranode"), sweep.new_series("internode")
+    paths = {}
+    for nbytes in SIZES:
+        intra.add(nbytes, campaign.metrics_for(size=nbytes, nnodes=1)["mib_per_s"])
+        m = campaign.metrics_for(size=nbytes, nnodes=2)
+        inter.add(nbytes, m["mib_per_s"])
+        paths[nbytes] = m["path"]
+    cluster = cluster_of(topo, 2)
+    doc = json.loads(format_json(sweep, topology=cluster))
+    print("\n", format_json(sweep, topology=cluster))
     assert doc["topology"] == {
         "kind": "cluster",
         "nodes": 2,
@@ -92,37 +59,43 @@ def test_cluster_pingpong_shapes(benchmark, topo):
         "node": topo.name,
         "fabric": doc["topology"]["fabric"],
     }
-    inter = sweep.get("internode")
-    intra = sweep.get("intranode")
+    assert doc["seeds"] == [0]
     # Latency floor: the fabric never beats the Nemesis queues.
     assert all(inter.y_at(x) < intra.y_at(x) for x in SIZES)
     # Eager below the fabric threshold, RDMA rendezvous above.
     assert paths[4 * KiB] == "net-eager"
     assert paths[64 * KiB] == paths[1 * MiB] == "nic+rdma"
     # Large messages saturate the link (one-way goodput, >= 70%).
-    assert inter.y_at(1 * MiB) >= 0.7 * spec.fabric.link_rate / MiB
+    assert inter.y_at(1 * MiB) >= 0.7 * cluster.fabric.link_rate / MiB
 
 
-def test_hier_allreduce_beats_flat(benchmark, topo):
+def _allreduce_times(procs_per_node):
+    """(nnodes, tuning) -> seconds for a flat-vs-hier allreduce study."""
+    spec = CampaignSpec(
+        name=f"hier-allreduce-ppn{procs_per_node}",
+        workload="allreduce",
+        sizes=(256 * KiB,),
+        nnodes=(2, 4),
+        tunings=("default", "flat"),
+        seeds=(0,),
+        reps=1,
+        procs_per_node=procs_per_node,
+        noise_sigma=0.0,
+    )
+    run = run_campaign(spec)
+    assert not run.failures, run.failures
+    return {
+        (nn, "hier" if tuning == "default" else "flat"):
+            run.metrics_for(nnodes=nn, tuning=tuning)["seconds"]
+        for nn in (2, 4)
+        for tuning in ("default", "flat")
+    }
+
+
+def test_hier_allreduce_beats_flat(benchmark):
     """The headline hierarchy claim: on every node count >= 2, the
     two-level allreduce wins once payloads are bandwidth-bound."""
-
-    def run():
-        out = {}
-        for nnodes in (2, 4):
-            spec = cluster_of(topo, nnodes)
-            for label, tuning in (("flat", FLAT), ("hier", None)):
-                r = run_cluster(
-                    spec,
-                    4 * nnodes,
-                    _allreduce(256 * KiB),
-                    procs_per_node=4,
-                    coll_tuning=tuning,
-                )
-                out[(nnodes, label)] = max(r.results)
-        return out
-
-    out = run_once(benchmark, run)
+    out = run_once(benchmark, _allreduce_times, 4)
     print(
         "\n",
         {f"{n}n/{l}": f"{t * 1e6:.0f}us" for (n, l), t in sorted(out.items())},
@@ -131,27 +104,11 @@ def test_hier_allreduce_beats_flat(benchmark, topo):
         assert out[(nnodes, "hier")] < out[(nnodes, "flat")]
 
 
-def test_hier_allreduce_node_scaling(benchmark, topo):
+def test_hier_allreduce_node_scaling(benchmark):
     """Flat allreduce degrades with node count (every rank's vector
     crosses the wire); the hierarchy holds the per-node wire volume
     constant, so its advantage grows."""
-
-    def run():
-        times = {}
-        for nnodes in (2, 4):
-            spec = cluster_of(topo, nnodes)
-            for label, tuning in (("flat", FLAT), ("hier", None)):
-                r = run_cluster(
-                    spec,
-                    2 * nnodes,
-                    _allreduce(256 * KiB),
-                    procs_per_node=2,
-                    coll_tuning=tuning,
-                )
-                times[(nnodes, label)] = max(r.results)
-        return times
-
-    times = run_once(benchmark, run)
+    times = run_once(benchmark, _allreduce_times, 2)
     gain2 = times[(2, "flat")] / times[(2, "hier")]
     gain4 = times[(4, "flat")] / times[(4, "hier")]
     print(f"\n hier gain: 2 nodes {gain2:.2f}x, 4 nodes {gain4:.2f}x")
@@ -159,38 +116,33 @@ def test_hier_allreduce_node_scaling(benchmark, topo):
     assert gain4 > gain2
 
 
-def test_fault_sweep_pingpong(benchmark, topo):
+def test_fault_sweep_pingpong(benchmark):
     """Pingpong under a seeded drop-rate sweep: every run completes with
     correct data, losses surface as retransmits and latency (never as
-    hangs), and the JSON document carries the resilience block."""
-    spec = cluster_of(topo, 2)
-    rates = [0.0, 0.05, 0.1]
+    hangs), and the trial records carry the resilience counters."""
+    rates = (0.0, 0.05, 0.1)
+    spec = CampaignSpec(
+        name="fault-sweep",
+        sizes=(256 * KiB,),
+        nnodes=(2,),
+        drops=rates,
+        seeds=(42,),
+        noise_sigma=0.0,
+    )
 
     def run():
-        sweep = Sweep("fault sweep pingpong", "drop rate", "one-way us")
-        series = sweep.new_series("256KiB")
-        runs = {}
-        for drop in rates:
-            r = run_cluster(
-                spec,
-                2,
-                _pingpong(256 * KiB),
-                procs_per_node=1,
-                faults=FaultPlan(seed=42, drop=drop),
-            )
-            series.add(drop, r.results[0] * 1e6)
-            runs[drop] = r
-        return sweep, runs
+        return run_campaign(spec)
 
-    sweep, runs = run_once(benchmark, run)
-    lossy = runs[rates[-1]]
-    res = resilience_block(lossy.fabric, policy=lossy.world.policy)
-    doc = json.loads(format_json(sweep, topology=spec, resilience=res))
-    print("\n", format_json(sweep, topology=spec, resilience=res))
-    assert doc["resilience"]["retransmits"] > 0
-    assert doc["resilience"]["injected"]["drops_injected"] > 0
-    assert doc["resilience"]["retries_exhausted"] == 0
-    clean = runs[0.0]
-    assert sum(n.retransmits for n in clean.fabric.nics) == 0
-    series = sweep.get("256KiB")
-    assert series.y_at(rates[-1]) > series.y_at(0.0)  # losses cost time
+    campaign = run_once(benchmark, run)
+    assert not campaign.failures, campaign.failures
+    doc = campaign.document()
+    print("\n", json.dumps(doc["aggregates"], indent=2))
+    assert doc["seeds"] == [42]
+    lossy = campaign.metrics_for(drop=rates[-1])
+    assert lossy["retransmits"] > 0
+    assert lossy["drops_injected"] > 0
+    assert lossy["retries_exhausted"] == 0
+    clean = campaign.metrics_for(drop=0.0)
+    assert clean["retransmits"] == 0
+    # Losses cost time, never correctness.
+    assert lossy["one_way_seconds"] > clean["one_way_seconds"]

@@ -6,35 +6,55 @@ that KNEM should offload copies to I/OAT hardware when the size passes
 1 MiB.  We ran the same test between 2 cores not sharing a cache and
 observed that the threshold jumps to 2 MiB.  Running the experiment on
 another host with 6 MiB L2 caches increased the threshold by 50%."
+
+Ported onto the :mod:`repro.campaign` engine: each observation is one
+trial of a ``crossover`` campaign, so the sweep is declarative and the
+records carry the same content hashes the result cache uses.
 """
 
 from conftest import run_once
 
-from repro.core.autotune import find_ioat_crossover
-from repro.hw.presets import xeon_x5460
+from repro.campaign import CampaignSpec, run_campaign
 from repro.units import MiB
 
 
-def test_threshold_shared_cache(benchmark, topo):
-    res = run_once(benchmark, find_ioat_crossover, topo, (0, 1))
-    print("\n" + res.describe())
-    assert res.predicted_dmamin == 1 * MiB
-    assert res.measured_crossover is not None
-    assert 0.5 <= res.measured_crossover / res.predicted_dmamin <= 4.0
+def _crossover(machine, pairs):
+    """Run a one-machine crossover campaign and index metrics by pair."""
+    spec = CampaignSpec(
+        name=f"thresholds-{machine}",
+        workload="crossover",
+        machines=(machine,),
+        pairs=tuple(pairs),
+        seeds=(0,),
+        noise_sigma=0.0,
+    )
+    run = run_campaign(spec)
+    assert not run.failures, run.failures
+    return {
+        tuple(r["config"]["pair"]): r["metrics"] for r in run.records
+    }
 
 
-def test_threshold_no_shared_cache(benchmark, topo):
-    res = run_once(benchmark, find_ioat_crossover, topo, (0, 4))
-    print("\n" + res.describe())
-    assert res.predicted_dmamin == 2 * MiB
-    assert res.measured_crossover is not None
-    shared = find_ioat_crossover(topo, (0, 1))
+def test_threshold_shared_cache(benchmark):
+    res = run_once(benchmark, _crossover, "xeon_e5345", [(0, 1)])[(0, 1)]
+    print("\n", res)
+    assert res["predicted_dmamin"] == 1 * MiB
+    assert res["crossover_bytes"] is not None
+    assert 0.5 <= res["crossover_bytes"] / res["predicted_dmamin"] <= 4.0
+
+
+def test_threshold_no_shared_cache(benchmark):
+    by_pair = run_once(benchmark, _crossover, "xeon_e5345", [(0, 1), (0, 4)])
+    shared, remote = by_pair[(0, 1)], by_pair[(0, 4)]
+    print("\n", remote)
+    assert remote["predicted_dmamin"] == 2 * MiB
+    assert remote["crossover_bytes"] is not None
     # "the threshold jumps" when no cache is shared.
-    assert res.measured_crossover >= shared.measured_crossover
+    assert remote["crossover_bytes"] >= shared["crossover_bytes"]
 
 
 def test_threshold_bigger_cache_scales(benchmark):
     """6 MiB caches raise the predicted threshold by 50%."""
-    res = run_once(benchmark, find_ioat_crossover, xeon_x5460(), (0, 1))
-    print("\n" + res.describe())
-    assert res.predicted_dmamin == int(1.5 * MiB)
+    res = run_once(benchmark, _crossover, "xeon_x5460", [(0, 1)])[(0, 1)]
+    print("\n", res)
+    assert res["predicted_dmamin"] == int(1.5 * MiB)

@@ -9,11 +9,14 @@ Examples::
     repro-bench --thresholds
     repro-bench --list
     repro-bench trace --mode knem-ioat --size 1M --out trace.json
+    repro-bench campaign run --backends default,knem --sizes 64K,1M --seeds 3
+    repro-bench campaign compare --baseline BENCH_campaign.json
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -149,11 +152,218 @@ def _run_trace(argv: list[str]) -> int:
     return 0
 
 
+def _campaign_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-bench campaign",
+        description="Run declarative experiment campaigns over the "
+        "simulated testbed: axis cross-products, a multiprocessing "
+        "worker pool, a content-addressed result cache (re-runs are "
+        "100%% cache hits), and a baseline regression gate.",
+    )
+    p.add_argument(
+        "action",
+        choices=["run", "resume", "compare", "report"],
+        help="run/resume a campaign, gate against a baseline, or "
+        "pretty-print a saved campaign JSON",
+    )
+    p.add_argument("--name", default="campaign", help="campaign name")
+    p.add_argument(
+        "--workload",
+        default="pingpong",
+        choices=["pingpong", "allreduce", "crossover"],
+        help="what each trial measures (default: pingpong)",
+    )
+    p.add_argument(
+        "--machines",
+        default="xeon_e5345,xeon_x5460",
+        help="comma list of machine presets",
+    )
+    p.add_argument(
+        "--backends",
+        default="default,knem,knem-ioat",
+        help="comma list of LMT modes",
+    )
+    p.add_argument(
+        "--sizes", default="64K,256K,1M", help="comma list of message sizes"
+    )
+    p.add_argument(
+        "--nnodes", default="1", help="comma list of node counts (1 = intranode)"
+    )
+    p.add_argument(
+        "--drops", default="0", help="comma list of injected wire drop rates"
+    )
+    p.add_argument(
+        "--tunings", default="default", help="comma list from {default, flat}"
+    )
+    p.add_argument(
+        "--seeds",
+        type=int,
+        default=3,
+        help="number of seeded replicates per config (seeds 0..N-1)",
+    )
+    p.add_argument(
+        "--sigma", type=float, default=0.02, help="noise sigma (0 = off)"
+    )
+    p.add_argument("--reps", type=int, default=2, help="round trips per trial")
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=min(4, os.cpu_count() or 1),
+        help="worker processes (<=1 runs serially in-process)",
+    )
+    p.add_argument(
+        "--results-dir",
+        default="results/campaign",
+        metavar="DIR",
+        help="content-addressed result cache (default: results/campaign)",
+    )
+    p.add_argument(
+        "--no-cache", action="store_true", help="always execute every trial"
+    )
+    p.add_argument(
+        "--trace-dir",
+        metavar="DIR",
+        help="also write a Perfetto trace per executed trial",
+    )
+    p.add_argument(
+        "--out", metavar="FILE", help="write the campaign JSON document"
+    )
+    p.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="baseline campaign JSON to gate against (compare)",
+    )
+    p.add_argument(
+        "--campaign",
+        metavar="FILE",
+        help="saved campaign JSON to pretty-print (report)",
+    )
+    p.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.05,
+        help="relative median drift allowed by the gate (default 0.05)",
+    )
+    return p
+
+
+def _csv(text: str) -> list[str]:
+    return [part for part in text.split(",") if part]
+
+
+def _campaign_spec(args):
+    from repro.campaign import CampaignSpec
+    from repro.units import parse_size
+
+    return CampaignSpec(
+        name=args.name,
+        workload=args.workload,
+        machines=tuple(_csv(args.machines)),
+        backends=tuple(_csv(args.backends)),
+        sizes=tuple(parse_size(s) for s in _csv(args.sizes)),
+        nnodes=tuple(int(n) for n in _csv(args.nnodes)),
+        drops=tuple(float(d) for d in _csv(args.drops)),
+        tunings=tuple(_csv(args.tunings)),
+        seeds=tuple(range(args.seeds)),
+        reps=args.reps,
+        noise_sigma=args.sigma,
+        trace_dir=args.trace_dir,
+    )
+
+
+def _print_campaign_doc(doc: dict) -> None:
+    from repro.bench.reporting import format_table
+
+    rows = []
+    for agg in doc["aggregates"]:
+        if agg["n"]:
+            rows.append([
+                agg["label"], agg["metric"], agg["n"], agg["median"],
+                agg["iqr"], agg["ci_lo"], agg["ci_hi"],
+            ])
+        else:
+            rows.append([agg["label"], agg["metric"] or "?", 0] + ["-"] * 4)
+    print(format_table(
+        ["trial group", "metric", "n", "median", "iqr", "ci_lo", "ci_hi"],
+        rows,
+        title=f"campaign {doc['name']!r} (seeds {doc['seeds']})",
+    ))
+
+
+def _run_campaign_cli(argv: list[str]) -> int:
+    args = _campaign_parser().parse_args(argv)
+    import json
+
+    from repro.bench.store import atomic_write_json
+    from repro.campaign import ResultCache, compare_campaigns, run_campaign
+    from repro.errors import BenchmarkError
+
+    if args.action == "report":
+        if not args.campaign:
+            print("campaign report needs --campaign FILE", file=sys.stderr)
+            return 2
+        with open(args.campaign) as fh:
+            doc = json.load(fh)
+        _print_campaign_doc(doc)
+        summary = doc["summary"]
+        print(
+            f"trials {summary['trials']} | executed {summary['executed']} | "
+            f"cache hits {summary['cache_hits']} | "
+            f"failures {summary['failures']}"
+        )
+        return 0
+
+    spec = _campaign_spec(args)
+    cache = None if args.no_cache else ResultCache(args.results_dir)
+    print(spec.describe(), file=sys.stderr)
+    if args.action == "resume":
+        cached = sum(1 for t in spec.trials() if cache and t.hash in cache)
+        print(
+            f"resuming: {cached}/{len(spec.trials())} trials already cached",
+            file=sys.stderr,
+        )
+    run = run_campaign(spec, cache=cache, workers=args.workers)
+    doc = run.document()
+    if args.out:
+        atomic_write_json(args.out, doc)
+        print(f"saved campaign document to {args.out}", file=sys.stderr)
+    for record in run.failures:
+        print(
+            f"FAILED {record['hash'][:12]} "
+            f"{record['config']['workload']} seed={record['seed']}: "
+            f"{record['error']}",
+            file=sys.stderr,
+        )
+
+    if args.action == "compare":
+        if not args.baseline:
+            print("campaign compare needs --baseline FILE", file=sys.stderr)
+            return 2
+        try:
+            with open(args.baseline) as fh:
+                baseline = json.load(fh)
+            comparison = compare_campaigns(
+                baseline, doc, tolerance=args.tolerance
+            )
+        except (OSError, json.JSONDecodeError, BenchmarkError) as exc:
+            print(f"campaign compare: {exc}", file=sys.stderr)
+            return 2
+        print(comparison.format())
+        print(run.describe())
+        return 0 if comparison.ok else 1
+
+    _print_campaign_doc(doc)
+    print(run.describe())
+    return 1 if run.failures else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "trace":
         return _run_trace(argv[1:])
+    if argv and argv[0] == "campaign":
+        return _run_campaign_cli(argv[1:])
     args = _parser().parse_args(argv)
 
     if args.list:
@@ -161,6 +371,8 @@ def main(argv: list[str] | None = None) -> int:
         print("tables:  1 2")
         print("extra:   --thresholds (Sec. 3.5 crossovers)")
         print("         --validate   (check every paper claim)")
+        print("subcommands: trace (Perfetto export), campaign (cached")
+        print("             parallel sweeps + regression gate)")
         return 0
 
     t0 = time.time()

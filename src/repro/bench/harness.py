@@ -16,9 +16,11 @@ def sweep_sizes(
 ) -> list[int]:
     """Geometric sweep of message sizes, like the paper's x axes.
 
-    ``per_octave=2`` gives 64k, 96k(?) — no: sizes double each octave
-    and ``per_octave`` points are placed per doubling (1 -> powers of
-    two only; 2 adds the 1.5x midpoints).
+    Sizes double each octave; ``per_octave`` sets how many points land
+    in each doubling.  ``per_octave=1`` keeps the powers of two only;
+    ``per_octave=2`` also places the 1.5x midpoint of every octave
+    (64k, 96k, 128k, 192k, ...).  A midpoint is included only while it
+    does not exceed ``hi``, so a sweep may legitimately end on one.
     """
     if lo <= 0 or hi < lo or per_octave < 1:
         raise BenchmarkError(f"bad sweep bounds [{lo}, {hi}] x{per_octave}")
@@ -67,6 +69,10 @@ class Sweep:
     xlabel: str
     ylabel: str
     series: list[Series] = field(default_factory=list)
+    #: Noise seed(s) the sweep was produced with (None = deterministic
+    #: run).  Persisted by the store and the JSON reporter so stored
+    #: results say exactly which random streams produced them.
+    seeds: Optional[list[int]] = None
 
     def new_series(self, label: str) -> Series:
         s = Series(label)

@@ -157,15 +157,24 @@ def obs_block(obs) -> dict:
 
 def format_json(
     sweep: Sweep, topology=None, resilience=None, obs=None,
+    seeds: Optional[Sequence[int]] = None,
     indent: Optional[int] = 2
 ) -> str:
     """Serialize a sweep (plus the host description and, optionally, a
-    :func:`resilience_block` and an :func:`obs_block`) as JSON."""
+    :func:`resilience_block` and an :func:`obs_block`) as JSON.
+
+    The noise seed(s) behind the run are recorded under ``"seeds"`` —
+    taken from ``seeds`` if given, else from ``sweep.seeds`` — so the
+    stored document always says which random streams produced it."""
     doc: dict = {
         "title": sweep.title,
         "xlabel": sweep.xlabel,
         "ylabel": sweep.ylabel,
     }
+    if seeds is None:
+        seeds = sweep.seeds
+    if seeds is not None:
+        doc["seeds"] = [int(s) for s in seeds]
     if topology is not None:
         doc["topology"] = topology_block(topology)
     if resilience is not None:

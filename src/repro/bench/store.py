@@ -8,6 +8,7 @@ enough to catch calibration regressions without a CI service.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional
@@ -16,15 +17,38 @@ from repro.bench.harness import Series, Sweep
 from repro.errors import BenchmarkError
 from repro.units import fmt_size
 
-__all__ = ["save_sweep", "load_sweep", "compare_sweeps", "SweepComparison"]
+__all__ = [
+    "atomic_write_json",
+    "save_sweep",
+    "load_sweep",
+    "compare_sweeps",
+    "SweepComparison",
+]
 
 _FORMAT_VERSION = 1
 
 
-def save_sweep(sweep: Sweep, path: str | Path) -> None:
-    """Write a sweep to JSON (creating parent directories)."""
+def atomic_write_json(path: str | Path, payload, indent: Optional[int] = 2) -> None:
+    """Write ``payload`` as JSON so readers never see a torn file.
+
+    The document lands in ``path.with_suffix(".tmp")`` first, is
+    fsync'd, then renamed over ``path`` — an interrupted writer leaves
+    at worst a stale ``.tmp`` beside an intact previous version.  Used
+    by every result store (sweeps here, trial records in
+    :mod:`repro.campaign.cache`).
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(".tmp")
+    with open(tmp, "w") as fh:
+        fh.write(json.dumps(payload, indent=indent) + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+def save_sweep(sweep: Sweep, path: str | Path) -> None:
+    """Write a sweep to JSON (creating parent directories)."""
     payload = {
         "version": _FORMAT_VERSION,
         "title": sweep.title,
@@ -35,7 +59,9 @@ def save_sweep(sweep: Sweep, path: str | Path) -> None:
             for s in sweep.series
         ],
     }
-    path.write_text(json.dumps(payload, indent=2) + "\n")
+    if sweep.seeds is not None:
+        payload["seeds"] = [int(s) for s in sweep.seeds]
+    atomic_write_json(path, payload)
 
 
 def load_sweep(path: str | Path) -> Sweep:
@@ -52,7 +78,10 @@ def load_sweep(path: str | Path) -> Sweep:
             f"{path}: unsupported sweep format {payload.get('version')!r}"
         )
     sweep = Sweep(
-        title=payload["title"], xlabel=payload["xlabel"], ylabel=payload["ylabel"]
+        title=payload["title"],
+        xlabel=payload["xlabel"],
+        ylabel=payload["ylabel"],
+        seeds=payload.get("seeds"),
     )
     for entry in payload["series"]:
         series = sweep.new_series(entry["label"])

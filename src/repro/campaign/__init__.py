@@ -1,0 +1,54 @@
+"""repro.campaign — declarative, cached, parallel experiment campaigns.
+
+The evidence behind the paper is a cross-product — {shm, vmsplice,
+KNEM, KNEM+I/OAT} x message sizes x machines x benchmarks — and this
+package runs such cross-products as one engine instead of ad-hoc
+scripts:
+
+* :mod:`~repro.campaign.spec` — axes -> trials, each with a canonical
+  config and a stable content hash;
+* :mod:`~repro.campaign.executor` — multiprocessing pool, per-trial
+  watchdog timeouts, crash containment;
+* :mod:`~repro.campaign.cache` — content-addressed result store with
+  atomic writes (re-running a campaign is 100 % cache hits);
+* :mod:`~repro.campaign.stats` — replicate aggregation and the
+  baseline regression gate.
+
+CLI: ``repro-bench campaign run|resume|compare|report``.
+"""
+
+from repro.campaign.cache import ResultCache
+from repro.campaign.executor import CampaignRun, run_campaign, run_trial
+from repro.campaign.spec import (
+    MACHINES,
+    WORKLOADS,
+    CampaignSpec,
+    Trial,
+    canonical_json,
+    group_config,
+    group_label,
+    trial_hash,
+)
+from repro.campaign.stats import (
+    CampaignComparison,
+    aggregate,
+    compare_campaigns,
+)
+
+__all__ = [
+    "CampaignSpec",
+    "Trial",
+    "trial_hash",
+    "canonical_json",
+    "group_config",
+    "group_label",
+    "WORKLOADS",
+    "MACHINES",
+    "ResultCache",
+    "run_trial",
+    "run_campaign",
+    "CampaignRun",
+    "aggregate",
+    "compare_campaigns",
+    "CampaignComparison",
+]

@@ -1,0 +1,71 @@
+"""Content-addressed on-disk store of trial results.
+
+One JSON file per trial, named by the trial's config hash
+(``results/<hash>.json``).  Writes go through
+:func:`repro.bench.store.atomic_write_json` (tmp + fsync + rename), so
+an interrupted campaign leaves at worst a stray ``.tmp`` file — never
+a torn record — and simply resumes on the next run: hashes already in
+the cache are served as hits, everything else executes.
+
+Only successful trials are stored; failures always re-run, which is
+what makes ``campaign resume`` a retry of exactly the broken subset.
+"""
+
+from __future__ import annotations
+
+import json
+import string
+from pathlib import Path
+from typing import Optional
+
+from repro.bench.store import atomic_write_json
+from repro.errors import BenchmarkError
+
+__all__ = ["ResultCache"]
+
+_HEX = set(string.hexdigits.lower())
+
+
+class ResultCache:
+    """Hash-keyed trial records under one directory."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path(self, key: str) -> Path:
+        if not key or not set(key) <= _HEX:
+            raise BenchmarkError(f"cache key is not a hex digest: {key!r}")
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> Optional[dict]:
+        """The stored record, or None on a miss.
+
+        A corrupt file (torn write from a pre-atomic store, manual
+        tampering) is deleted and treated as a miss — the trial simply
+        re-runs and rewrites it.
+        """
+        path = self.path(key)
+        try:
+            payload = json.loads(path.read_text())
+        except FileNotFoundError:
+            return None
+        except json.JSONDecodeError:
+            path.unlink(missing_ok=True)
+            return None
+        if not isinstance(payload, dict):
+            path.unlink(missing_ok=True)
+            return None
+        return payload
+
+    def put(self, key: str, record: dict) -> None:
+        atomic_write_json(self.path(key), record)
+
+    def keys(self) -> list[str]:
+        return sorted(p.stem for p in self.root.glob("*.json"))
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def __contains__(self, key: str) -> bool:
+        return self.path(key).exists()

@@ -1,0 +1,349 @@
+"""Run a campaign's trials: worker pool, isolation, cache, watchdog.
+
+Trials execute through a :mod:`multiprocessing` pool (``workers > 1``)
+or serially in-process (``workers <= 1``).  Either way:
+
+* **deterministic order** — trials run and report in spec-expansion
+  order (``pool.map`` preserves it), so two runs of the same spec
+  produce byte-identical documents;
+* **process isolation** — each pooled trial runs in a worker process,
+  so a crash (or a leaked global) cannot poison its siblings;
+* **failure containment** — :func:`run_trial` converts any exception
+  into a ``status: "failed"`` record; one broken trial never aborts
+  the campaign;
+* **watchdog timeouts** — every simulated run carries the trial's
+  ``max_events`` / ``max_sim_time`` budgets, so a livelocked trial
+  fails with :class:`repro.errors.LivelockError` instead of hanging
+  the pool;
+* **cache** — hashes already present in the :class:`ResultCache` are
+  served as hits and executed zero times, which is also the resume
+  path after an interrupt.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from functools import partial
+from pathlib import Path
+from typing import Callable, Optional, Sequence
+
+from repro.campaign.cache import ResultCache
+from repro.campaign.spec import CampaignSpec, Trial, trial_hash
+from repro.campaign.stats import aggregate
+
+__all__ = ["run_trial", "run_campaign", "CampaignRun", "DOCUMENT_VERSION"]
+
+DOCUMENT_VERSION = 1
+
+
+# --------------------------------------------------------------- workloads
+def _topo(name: str):
+    from repro.hw import presets
+
+    try:
+        return getattr(presets, name)()
+    except AttributeError:
+        raise ValueError(f"unknown machine preset {name!r}") from None
+
+
+def _noise(config: dict):
+    """The trial's noise model: explicitly seeded from the config."""
+    if config["noise_sigma"] <= 0:
+        return None
+    from repro.sim.noise import NoiseModel
+
+    return NoiseModel(seed=config["seed"], sigma=config["noise_sigma"])
+
+
+def _faults(config: dict):
+    """The trial's fault plan: same explicit seed as the noise stream."""
+    if config["drop"] <= 0:
+        return None
+    from repro.faults import FaultPlan
+
+    return FaultPlan(seed=config["seed"], drop=config["drop"])
+
+
+def _obs(config: dict, trace_dir: Optional[str]):
+    if trace_dir is None:
+        return None
+    from repro.obs import ObsConfig
+
+    root = Path(trace_dir)
+    root.mkdir(parents=True, exist_ok=True)
+    path = root / f"{trial_hash(config)}.trace.json"
+    return ObsConfig(spans=True, chrome_path=str(path))
+
+
+def _pingpong_main(nbytes: int, reps: int):
+    def main(ctx):
+        comm = ctx.comm
+        buf = ctx.alloc(nbytes)
+        peer = 1 - ctx.rank
+        status = None
+        start = None
+        for rep in range(reps + 1):
+            if rep == 1:  # rep 0 warms caches and rendezvous state
+                start = ctx.now
+            if ctx.rank == 0:
+                yield comm.Send(buf, dest=peer, tag=rep)
+                yield comm.Recv(buf, source=peer, tag=rep)
+            else:
+                status = yield comm.Recv(buf, source=peer, tag=rep)
+                yield comm.Send(buf, dest=peer, tag=rep)
+        if ctx.rank == 0:
+            return (ctx.now - start) / (2 * reps)
+        return getattr(status, "path", None)
+
+    return main
+
+
+def _run_pingpong(config: dict, trace_dir: Optional[str]) -> dict:
+    from repro.units import mib_per_s
+
+    nbytes = config["size"]
+    main = _pingpong_main(nbytes, config["reps"])
+    common = dict(
+        mode=config["backend"],
+        noise=_noise(config),
+        faults=_faults(config),
+        obs=_obs(config, trace_dir),
+        max_events=config["max_events"],
+        max_sim_time=config["max_sim_time"],
+    )
+    if config["nnodes"] == 1:
+        from repro.mpi.world import run_mpi
+
+        result = run_mpi(
+            _topo(config["machine"]), 2, main,
+            bindings=list(config["pair"]), **common,
+        )
+    else:
+        from repro.hw.presets import cluster_of
+        from repro.mpi.cluster import run_cluster
+
+        spec = cluster_of(_topo(config["machine"]), config["nnodes"])
+        result = run_cluster(
+            spec, 2, main, bindings=[(0, config["pair"][0]),
+                                     (1, config["pair"][1])], **common,
+        )
+    one_way = result.results[0]
+    metrics = {
+        "one_way_seconds": one_way,
+        "mib_per_s": mib_per_s(nbytes, one_way),
+        "path": result.results[1],
+        "elapsed": result.elapsed,
+    }
+    if config["nnodes"] > 1:
+        fabric = result.fabric
+        metrics["retransmits"] = sum(n.retransmits for n in fabric.nics)
+        metrics["retries_exhausted"] = sum(
+            n.retries_exhausted for n in fabric.nics
+        )
+        if fabric.faults is not None:
+            metrics["drops_injected"] = fabric.faults.counters()[
+                "drops_injected"
+            ]
+    return {"primary": "mib_per_s", **metrics}
+
+
+def _run_allreduce(config: dict, trace_dir: Optional[str]) -> dict:
+    from repro.hw.presets import cluster_of
+    from repro.mpi.cluster import run_cluster
+    from repro.mpi.coll.tuning import CollTuning
+
+    nbytes = config["size"]
+    reps = config["reps"]
+
+    def main(ctx):
+        from repro.mpi.coll.reduce import allreduce
+
+        a = ctx.alloc(nbytes)
+        b = ctx.alloc(nbytes)
+        a.data[:] = ctx.rank + 1
+        yield from allreduce(ctx.comm, a, b)  # warm scratch + caches
+        t0 = ctx.now
+        for _ in range(reps):
+            yield from allreduce(ctx.comm, a, b)
+        return (ctx.now - t0) / reps
+
+    tuning = None
+    if config["tuning"] == "flat":
+        tuning = CollTuning(hier_bcast_min=1 << 40, hier_allreduce_min=1 << 40)
+    nnodes = config["nnodes"]
+    ppn = config["procs_per_node"]
+    spec = cluster_of(_topo(config["machine"]), nnodes)
+    result = run_cluster(
+        spec, nnodes * ppn, main,
+        procs_per_node=ppn,
+        mode=config["backend"],
+        coll_tuning=tuning,
+        noise=_noise(config),
+        faults=_faults(config),
+        obs=_obs(config, trace_dir),
+        max_events=config["max_events"],
+        max_sim_time=config["max_sim_time"],
+    )
+    seconds = max(result.results)
+    return {
+        "primary": "seconds",
+        "seconds": seconds,
+        "elapsed": result.elapsed,
+    }
+
+
+def _run_crossover(config: dict, trace_dir: Optional[str]) -> dict:
+    from repro.core.autotune import find_ioat_crossover
+
+    res = find_ioat_crossover(_topo(config["machine"]), tuple(config["pair"]))
+    return {
+        "primary": "crossover_bytes",
+        "crossover_bytes": res.measured_crossover,
+        "predicted_dmamin": res.predicted_dmamin,
+    }
+
+
+_WORKLOAD_FNS: dict[str, Callable[[dict, Optional[str]], dict]] = {
+    "pingpong": _run_pingpong,
+    "allreduce": _run_allreduce,
+    "crossover": _run_crossover,
+}
+
+
+# ---------------------------------------------------------------- execution
+def run_trial(config: dict, trace_dir: Optional[str] = None) -> dict:
+    """Execute one trial; never raises.
+
+    Returns the trial record: ``{"hash", "config", "seed", "status",
+    "primary", "metrics", "error"}`` with ``status`` of ``"ok"`` or
+    ``"failed"``.  Module-level and dict-in/dict-out so it is picklable
+    for the worker pool.
+    """
+    record = {
+        "hash": trial_hash(config),
+        "config": config,
+        "seed": config.get("seed"),
+        "status": "ok",
+        "primary": None,
+        "metrics": None,
+        "error": None,
+    }
+    try:
+        fn = _WORKLOAD_FNS[config["workload"]]
+        metrics = fn(config, trace_dir)
+        record["primary"] = metrics.pop("primary")
+        record["metrics"] = metrics
+    except Exception as exc:  # one broken trial must never kill the run
+        record["status"] = "failed"
+        record["error"] = f"{type(exc).__name__}: {exc}"
+    return record
+
+
+@dataclass
+class CampaignRun:
+    """Outcome of :func:`run_campaign`: trials + ordered records."""
+
+    spec: CampaignSpec
+    trials: list[Trial]
+    records: list[dict]
+
+    @property
+    def executed(self) -> int:
+        return sum(1 for r in self.records if not r["cached"])
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for r in self.records if r["cached"])
+
+    @property
+    def failures(self) -> list[dict]:
+        return [r for r in self.records if r["status"] == "failed"]
+
+    def record_for(self, **config_items) -> dict:
+        """The first record whose config contains all given items."""
+        for record in self.records:
+            cfg = record["config"]
+            if all(cfg.get(k) == v for k, v in config_items.items()):
+                return record
+        raise KeyError(f"no trial matching {config_items}")
+
+    def metrics_for(self, **config_items) -> dict:
+        record = self.record_for(**config_items)
+        if record["status"] != "ok":
+            raise RuntimeError(
+                f"trial {record['hash'][:12]} failed: {record['error']}"
+            )
+        return record["metrics"]
+
+    def document(self) -> dict:
+        """The campaign JSON (``BENCH_campaign.json`` shape)."""
+        total = len(self.records)
+        return {
+            "version": DOCUMENT_VERSION,
+            "kind": "campaign",
+            "name": self.spec.name,
+            "spec": self.spec.to_dict(),
+            "seeds": [int(s) for s in self.spec.seeds],
+            "summary": {
+                "trials": total,
+                "executed": self.executed,
+                "cache_hits": self.cache_hits,
+                "failures": len(self.failures),
+            },
+            "aggregates": aggregate(self.records),
+            "trials": self.records,
+        }
+
+    def describe(self) -> str:
+        total = len(self.records)
+        hits = self.cache_hits
+        pct = 100.0 * hits / total if total else 0.0
+        return (
+            f"campaign {self.spec.name!r}: {total} trials | "
+            f"executed {self.executed} | cache hits: {hits}/{total} "
+            f"({pct:.1f}%) | failures {len(self.failures)}"
+        )
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    cache: Optional[ResultCache] = None,
+    workers: int = 0,
+    trials: Optional[Sequence[Trial]] = None,
+    trace_dir: Optional[str] = None,
+) -> CampaignRun:
+    """Expand ``spec`` and execute every trial not already cached.
+
+    ``workers > 1`` fans the uncached trials over a multiprocessing
+    pool; otherwise they run serially in-process.  ``trials`` overrides
+    the spec expansion (used by tests and partial re-runs).  Cached
+    failures are never served — a failed trial always re-executes.
+    """
+    trials = list(trials) if trials is not None else spec.trials()
+    trace_dir = trace_dir if trace_dir is not None else spec.trace_dir
+    records: list[Optional[dict]] = [None] * len(trials)
+    pending: list[tuple[int, Trial]] = []
+    for i, trial in enumerate(trials):
+        hit = cache.get(trial.hash) if cache is not None else None
+        if (
+            hit is not None
+            and hit.get("status") == "ok"
+            and hit.get("config") == trial.config
+        ):
+            records[i] = {**hit, "cached": True}
+        else:
+            pending.append((i, trial))
+    if pending:
+        configs = [t.config for _, t in pending]
+        runner = partial(run_trial, trace_dir=trace_dir)
+        if workers > 1 and len(configs) > 1:
+            with multiprocessing.Pool(min(workers, len(configs))) as pool:
+                fresh = pool.map(runner, configs)
+        else:
+            fresh = [runner(c) for c in configs]
+        for (i, trial), record in zip(pending, fresh):
+            if cache is not None and record["status"] == "ok":
+                cache.put(trial.hash, record)
+            records[i] = {**record, "cached": False}
+    return CampaignRun(spec=spec, trials=trials, records=records)

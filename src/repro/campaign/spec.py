@@ -1,0 +1,232 @@
+"""Declarative experiment campaigns: axes -> trials -> content hashes.
+
+A :class:`CampaignSpec` names the axes of a study — machine preset,
+LMT backend, message size, node count, injected drop rate, collective
+tuning, and seeded replicates — and :meth:`CampaignSpec.trials`
+expands their cross-product into :class:`Trial`\\ s.  Every trial
+carries one *canonical config dict* (plain JSON types, sorted keys)
+whose SHA-256 is the trial's identity: the executor keys the result
+cache on it, so the same config always reuses the same stored result
+and any axis change produces a new hash.
+
+Replicates differ only in ``seed``; :func:`group_config` strips the
+seed so :mod:`repro.campaign.stats` can aggregate across them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field, fields
+from typing import Optional
+
+from repro.core.policy import MODES
+from repro.errors import BenchmarkError
+from repro.units import KiB, fmt_size
+
+__all__ = [
+    "WORKLOADS",
+    "MACHINES",
+    "CampaignSpec",
+    "Trial",
+    "canonical_json",
+    "trial_hash",
+    "group_config",
+    "group_label",
+]
+
+#: Workloads the executor knows how to run (see repro.campaign.executor).
+WORKLOADS = ("pingpong", "allreduce", "crossover")
+
+#: Machine presets a trial config may name (see repro.hw.presets).
+MACHINES = ("xeon_e5345", "xeon_x5460", "nehalem8")
+
+#: Bumped whenever trial semantics change incompatibly; salted into
+#: every hash so stale cached results can never be mistaken for fresh.
+_SCHEMA_VERSION = 1
+
+
+def canonical_json(config: dict) -> str:
+    """The one serialization of a config dict (sorted keys, no spaces)."""
+    return json.dumps(config, sort_keys=True, separators=(",", ":"))
+
+
+def trial_hash(config: dict) -> str:
+    """Stable content hash of a canonical trial config."""
+    payload = f"repro.campaign/v{_SCHEMA_VERSION}:{canonical_json(config)}"
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def group_config(config: dict) -> dict:
+    """The config with the replicate axis removed (aggregation key)."""
+    return {k: v for k, v in config.items() if k != "seed"}
+
+
+def group_label(config: dict) -> str:
+    """Human-readable name of a replicate group, stable across runs."""
+    parts = [
+        config["workload"],
+        config["machine"],
+        config["backend"],
+        fmt_size(config["size"]),
+        f"n{config['nnodes']}",
+    ]
+    pair = config.get("pair")
+    if pair and tuple(pair) != (0, 1):
+        parts.append(f"c{pair[0]}-{pair[1]}")
+    if config.get("drop"):
+        parts.append(f"drop{config['drop']:g}")
+    if config.get("tuning", "default") != "default":
+        parts.append(config["tuning"])
+    return "/".join(parts)
+
+
+@dataclass(frozen=True)
+class Trial:
+    """One point of the cross-product: a canonical config plus its hash."""
+
+    config: dict
+
+    @property
+    def hash(self) -> str:
+        return trial_hash(self.config)
+
+    @property
+    def short(self) -> str:
+        return self.hash[:12]
+
+    @property
+    def seed(self) -> int:
+        return self.config["seed"]
+
+    @property
+    def group(self) -> str:
+        """Hash-stable aggregation key (config minus the seed)."""
+        return canonical_json(group_config(self.config))
+
+    @property
+    def label(self) -> str:
+        return group_label(self.config)
+
+    def describe(self) -> str:
+        return f"{self.label} seed={self.seed} [{self.short}]"
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Axes of one experiment campaign.
+
+    Every tuple field is an axis; scalars apply to all trials.  The
+    expansion order is fixed (machine, backend, size, nnodes, pair,
+    drop, tuning, seed) so trial lists — and therefore executor queue
+    order — are deterministic for a given spec.
+    """
+
+    name: str = "campaign"
+    workload: str = "pingpong"
+    machines: tuple = ("xeon_e5345",)
+    backends: tuple = ("default",)
+    sizes: tuple = (256 * KiB,)
+    nnodes: tuple = (1,)
+    #: Core pairs for point-to-point workloads (shared vs remote cache).
+    pairs: tuple = ((0, 1),)
+    #: Injected wire drop rates (FaultPlan axis; 0.0 = no faults armed).
+    drops: tuple = (0.0,)
+    #: Collective tuning: "default" (hierarchy on) or "flat".
+    tunings: tuple = ("default",)
+    #: Noise-seed replicates; one trial per seed per config point.
+    seeds: tuple = (0,)
+    #: Pingpong round trips (or timed allreduce iterations) per trial.
+    reps: int = 2
+    #: Ranks per node for collective workloads (allreduce).
+    procs_per_node: int = 2
+    #: Lognormal jitter width; 0.0 runs the simulator deterministically.
+    noise_sigma: float = 0.02
+    #: Per-trial Engine watchdog budgets (LivelockError past either).
+    max_events: int = 20_000_000
+    max_sim_time: float = 60.0
+    #: When set, each executed trial writes a Perfetto trace to
+    #: ``<trace_dir>/<hash>.trace.json`` (not part of the trial hash).
+    trace_dir: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.workload not in WORKLOADS:
+            raise BenchmarkError(
+                f"unknown workload {self.workload!r}; pick one of {WORKLOADS}"
+            )
+        for m in self.machines:
+            if m not in MACHINES:
+                raise BenchmarkError(
+                    f"unknown machine preset {m!r}; pick from {MACHINES}"
+                )
+        for b in self.backends:
+            if b not in MODES:
+                raise BenchmarkError(
+                    f"unknown LMT backend {b!r}; pick one of {MODES}"
+                )
+        for axis in ("machines", "backends", "sizes", "nnodes", "pairs",
+                     "drops", "tunings", "seeds"):
+            if not getattr(self, axis):
+                raise BenchmarkError(f"campaign axis {axis!r} is empty")
+        if any(s <= 0 for s in self.sizes):
+            raise BenchmarkError(f"non-positive message size in {self.sizes}")
+        if any(n < 1 for n in self.nnodes):
+            raise BenchmarkError(f"node counts must be >= 1, got {self.nnodes}")
+        for t in self.tunings:
+            if t not in ("default", "flat"):
+                raise BenchmarkError(f"tuning must be 'default' or 'flat': {t!r}")
+        if self.reps < 1:
+            raise BenchmarkError(f"reps must be >= 1, got {self.reps}")
+        if self.procs_per_node < 1:
+            raise BenchmarkError(
+                f"procs_per_node must be >= 1, got {self.procs_per_node}"
+            )
+        if not 0.0 <= self.noise_sigma <= 0.5:
+            raise BenchmarkError(f"noise_sigma out of [0, 0.5]: {self.noise_sigma}")
+
+    def trials(self) -> list[Trial]:
+        """Expand the cross-product into deterministic trial order."""
+        out = []
+        for machine, backend, size, nn, pair, drop, tuning, seed in (
+            itertools.product(
+                self.machines, self.backends, self.sizes, self.nnodes,
+                self.pairs, self.drops, self.tunings, self.seeds,
+            )
+        ):
+            out.append(Trial(config={
+                "workload": self.workload,
+                "machine": machine,
+                "backend": backend,
+                "size": int(size),
+                "nnodes": int(nn),
+                "pair": [int(pair[0]), int(pair[1])],
+                "drop": float(drop),
+                "tuning": tuning,
+                "seed": int(seed),
+                "reps": int(self.reps),
+                "procs_per_node": int(self.procs_per_node),
+                "noise_sigma": float(self.noise_sigma),
+                "max_events": int(self.max_events),
+                "max_sim_time": float(self.max_sim_time),
+            }))
+        return out
+
+    def to_dict(self) -> dict:
+        """JSON form embedded in campaign documents."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def describe(self) -> str:
+        axes = (
+            f"{len(self.machines)} machine(s) x {len(self.backends)} "
+            f"backend(s) x {len(self.sizes)} size(s)"
+        )
+        extra = len(self.nnodes) * len(self.pairs) * len(self.drops) * len(
+            self.tunings
+        )
+        if extra > 1:
+            axes += f" x {extra} variant(s)"
+        return (
+            f"campaign {self.name!r}: {self.workload}, {axes}, "
+            f"{len(self.seeds)} seed(s) -> {len(self.trials())} trials"
+        )

@@ -164,6 +164,8 @@ def run_cluster(
     noise=None,
     faults=None,
     obs=None,
+    max_events: Optional[int] = None,
+    max_sim_time: Optional[float] = None,
 ) -> ClusterRunResult:
     """Run ``main(ctx)`` on ``nprocs`` ranks spread over a cluster.
 
@@ -190,7 +192,12 @@ def run_cluster(
         bindings = [(r // ppn, r % ppn) for r in range(nprocs)]
     elif nprocs is None:
         nprocs = len(bindings)
-    engine = Engine(trace=trace, obs=obs)
+    from repro.sim.noise import NoiseModel
+
+    noise = NoiseModel.coerce(noise)
+    engine = Engine(
+        trace=trace, obs=obs, max_events=max_events, max_sim_time=max_sim_time
+    )
     cluster = Cluster(engine, spec, faults=faults, noise=noise)
     policy = ClusterLmtPolicy(
         spec.node,

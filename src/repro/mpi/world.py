@@ -204,6 +204,8 @@ class MpiWorld:
             latency = params.t_wakeup_shared
         else:
             latency = params.t_wakeup_remote
+        if self.noise is not None:
+            latency = self.noise.jitter(latency)
         self.engine.schedule(latency, self.endpoints[dst_rank].dispatch, pkt)
 
     # --------------------------------------------------- LMT concurrency
@@ -324,6 +326,8 @@ def run_mpi(
     noise=None,
     faults=None,
     obs=None,
+    max_events: Optional[int] = None,
+    max_sim_time: Optional[float] = None,
 ) -> MpiRunResult:
     """Run ``main(ctx)`` on ``nprocs`` simulated ranks.
 
@@ -348,8 +352,20 @@ def run_mpi(
         :class:`~repro.obs.ObsCollector`) enabling causal spans and the
         metrics registry; the finalized collector lands in
         ``MpiRunResult.obs``.
+    noise:
+        A :class:`repro.sim.noise.NoiseModel`, or a bare int taken as
+        an explicit noise seed (see :meth:`NoiseModel.coerce`).
+    max_events / max_sim_time:
+        Engine progress-watchdog budgets: exceeding either raises
+        :class:`repro.errors.LivelockError` instead of spinning — the
+        per-trial timeout used by :mod:`repro.campaign`.
     """
-    engine = Engine(trace=trace, obs=obs)
+    from repro.sim.noise import NoiseModel
+
+    noise = NoiseModel.coerce(noise)
+    engine = Engine(
+        trace=trace, obs=obs, max_events=max_events, max_sim_time=max_sim_time
+    )
     machine = Machine(engine, topo)
     capabilities = None
     if faults is not None:

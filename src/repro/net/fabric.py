@@ -139,9 +139,10 @@ class Fabric:
     ``faults`` (a :class:`repro.faults.FaultPlan` or pre-built
     :class:`~repro.faults.FaultState`) arms the fault model and the
     NICs' reliable-delivery machinery; ``noise`` (a
-    :class:`repro.sim.noise.NoiseModel`) jitters the NIC wire/service
-    times so retry timers across nodes don't fire in lockstep.  Both
-    default to off, leaving timings bit-identical to a bare fabric.
+    :class:`repro.sim.noise.NoiseModel`, or a bare int taken as an
+    explicit seed) jitters the NIC wire/service times so retry timers
+    across nodes don't fire in lockstep.  Both default to off, leaving
+    timings bit-identical to a bare fabric.
     """
 
     def __init__(
@@ -149,11 +150,12 @@ class Fabric:
     ) -> None:
         from repro.net.nic import Nic
         from repro.net.switch import Switch
+        from repro.sim.noise import NoiseModel
 
         self.engine = engine
         self.params = params
         self.faults = self._fault_state(faults)
-        self.noise = noise
+        self.noise = NoiseModel.coerce(noise)
         self.switch = Switch(engine, len(machines), params, faults=self.faults)
         self.nics = [
             Nic(engine, machine, node, self)

@@ -30,6 +30,9 @@ __all__ = ["NoiseModel"]
 class NoiseModel:
     """Multiplicative lognormal jitter with a fixed seed."""
 
+    #: Default jitter width when a bare seed is coerced into a model.
+    DEFAULT_SIGMA = 0.02
+
     def __init__(self, seed: int = 0, sigma: float = 0.02) -> None:
         if sigma < 0 or sigma > 0.5:
             raise SimulationError(f"noise sigma out of range [0, 0.5]: {sigma}")
@@ -54,3 +57,25 @@ class NoiseModel:
         self.seed = seed
         self._rng = np.random.default_rng(seed)
         self.samples_drawn = 0
+
+    @classmethod
+    def coerce(
+        cls, noise: "NoiseModel | int | None", sigma: float | None = None
+    ) -> "NoiseModel | None":
+        """Normalize a run/trial config's noise field.
+
+        ``None`` stays off, an existing model passes through unchanged,
+        and a bare integer is an *explicit seed* for a model with
+        ``sigma`` (default :data:`DEFAULT_SIGMA`) — so experiment specs
+        can carry plain JSON seeds instead of constructed objects.
+        """
+        if noise is None or isinstance(noise, cls):
+            return noise
+        if isinstance(noise, (int, np.integer)) and not isinstance(noise, bool):
+            return cls(
+                seed=int(noise),
+                sigma=cls.DEFAULT_SIGMA if sigma is None else sigma,
+            )
+        raise SimulationError(
+            f"noise must be None, a seed int, or a NoiseModel, got {noise!r}"
+        )

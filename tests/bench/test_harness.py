@@ -20,6 +20,15 @@ def test_sweep_sizes_powers_of_two_only():
     assert sizes == [64 * KiB, 128 * KiB, 256 * KiB, 512 * KiB, 1 * MiB]
 
 
+def test_sweep_sizes_midpoint_at_hi_is_kept():
+    """per_octave=2 boundary: a 1.5x midpoint that lands exactly on
+    ``hi`` ends the sweep (nothing past ``hi`` ever appears)."""
+    sizes = sweep_sizes(1 * MiB, 3 * MiB, per_octave=2)
+    assert sizes == [1 * MiB, 3 * MiB // 2, 2 * MiB, 3 * MiB]
+    assert sweep_sizes(64 * KiB, 96 * KiB, per_octave=2) == [64 * KiB, 96 * KiB]
+    assert all(s <= 3 * MiB for s in sizes)
+
+
 def test_sweep_sizes_rejects_bad():
     with pytest.raises(BenchmarkError):
         sweep_sizes(0, 100)

@@ -1,9 +1,16 @@
 """Tests for the sweep persistence/regression store."""
 
+import json
+
 import pytest
 
 from repro.bench.harness import Sweep
-from repro.bench.store import compare_sweeps, load_sweep, save_sweep
+from repro.bench.store import (
+    atomic_write_json,
+    compare_sweeps,
+    load_sweep,
+    save_sweep,
+)
 from repro.errors import BenchmarkError
 from repro.units import KiB, MiB
 
@@ -26,6 +33,37 @@ def test_save_load_roundtrip(tmp_path):
     assert loaded.title == original.title
     assert [s.label for s in loaded.series] == ["knem", "default"]
     assert loaded.get("knem").points == original.get("knem").points
+
+
+def test_save_is_atomic(tmp_path):
+    """An interrupted --save can never leave a torn JSON behind."""
+    path = tmp_path / "fig.json"
+    save_sweep(_sweep(), path)
+    assert list(tmp_path.glob("*.tmp")) == []
+    # A stale tmp from a killed writer never shadows the real file.
+    path.with_suffix(".tmp").write_text('{"half": ')
+    save_sweep(_sweep(scale=2.0), path)
+    assert load_sweep(path).get("knem").y_at(64 * KiB) == 6000.0
+    assert list(tmp_path.glob("*.tmp")) == []
+
+
+def test_atomic_write_json_creates_parents(tmp_path):
+    path = tmp_path / "a" / "b" / "doc.json"
+    atomic_write_json(path, {"x": 1})
+    assert json.loads(path.read_text()) == {"x": 1}
+
+
+def test_seeds_roundtrip(tmp_path):
+    path = tmp_path / "seeded.json"
+    sweep = _sweep()
+    sweep.seeds = [3, 5]
+    save_sweep(sweep, path)
+    assert json.loads(path.read_text())["seeds"] == [3, 5]
+    assert load_sweep(path).seeds == [3, 5]
+    # Deterministic sweeps stay unseeded in the stored document.
+    save_sweep(_sweep(), path)
+    assert "seeds" not in json.loads(path.read_text())
+    assert load_sweep(path).seeds is None
 
 
 def test_load_missing_and_corrupt(tmp_path):

@@ -1,0 +1,77 @@
+"""End-to-end `repro-bench campaign` runs (in-process)."""
+
+import json
+
+from repro.bench.cli import main
+
+AXES = [
+    "--machines", "xeon_e5345",
+    "--backends", "default",
+    "--sizes", "16K,64K",
+    "--seeds", "3",
+    "--workers", "0",
+]
+
+
+def _run(tmp_path, action, *extra):
+    return main([
+        "campaign", action,
+        *AXES,
+        "--results-dir", str(tmp_path / "results"),
+        *extra,
+    ])
+
+
+def test_run_then_resume_hits_cache_fully(tmp_path, capsys):
+    out_file = tmp_path / "BENCH_campaign.json"
+    assert _run(tmp_path, "run", "--out", str(out_file)) == 0
+    out = capsys.readouterr().out
+    assert "cache hits: 0/6 (0.0%)" in out
+    doc = json.loads(out_file.read_text())
+    assert doc["kind"] == "campaign"
+    assert doc["seeds"] == [0, 1, 2]
+    assert doc["summary"] == {
+        "trials": 6, "executed": 6, "cache_hits": 0, "failures": 0,
+    }
+    assert all(t["seed"] == t["config"]["seed"] for t in doc["trials"])
+
+    assert _run(tmp_path, "resume", "--out", str(out_file)) == 0
+    out2 = capsys.readouterr().out
+    assert "cache hits: 6/6 (100.0%)" in out2
+    doc2 = json.loads(out_file.read_text())
+    assert doc2["summary"]["executed"] == 0
+    assert doc2["aggregates"] == doc["aggregates"]
+
+
+def test_compare_gate_exits_nonzero_on_drift(tmp_path, capsys):
+    baseline = tmp_path / "base.json"
+    assert _run(tmp_path, "run", "--out", str(baseline)) == 0
+    capsys.readouterr()
+    # Identical re-run (all cache hits) passes the gate.
+    assert _run(tmp_path, "compare", "--baseline", str(baseline)) == 0
+    assert "result: OK" in capsys.readouterr().out
+    # Inject 20 % drift into the stored baseline: the gate must fail
+    # and name the regressed trial groups.
+    doc = json.loads(baseline.read_text())
+    for row in doc["aggregates"]:
+        row["median"] *= 1.2
+    baseline.write_text(json.dumps(doc))
+    assert _run(tmp_path, "compare", "--baseline", str(baseline)) == 1
+    out = capsys.readouterr().out
+    assert "REGRESSIONS" in out
+    assert "pingpong/xeon_e5345/default/16KiB/n1" in out
+
+
+def test_compare_requires_baseline(tmp_path, capsys):
+    assert _run(tmp_path, "compare") == 2
+
+
+def test_report_pretty_prints_saved_document(tmp_path, capsys):
+    out_file = tmp_path / "camp.json"
+    assert _run(tmp_path, "run", "--out", str(out_file)) == 0
+    capsys.readouterr()
+    assert main(["campaign", "report", "--campaign", str(out_file)]) == 0
+    out = capsys.readouterr().out
+    assert "trial group" in out
+    assert "pingpong/xeon_e5345/default/64KiB/n1" in out
+    assert main(["campaign", "report"]) == 2

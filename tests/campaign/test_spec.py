@@ -1,0 +1,120 @@
+"""Spec expansion and content-hash stability."""
+
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    Trial,
+    canonical_json,
+    group_config,
+    group_label,
+    trial_hash,
+)
+from repro.errors import BenchmarkError
+from repro.units import KiB, MiB
+
+
+def _spec(**overrides):
+    base = dict(
+        name="t",
+        backends=("default", "knem"),
+        sizes=(64 * KiB, 1 * MiB),
+        seeds=(0, 1, 2),
+    )
+    base.update(overrides)
+    return CampaignSpec(**base)
+
+
+def test_expansion_is_full_cross_product():
+    trials = _spec().trials()
+    assert len(trials) == 2 * 2 * 3
+    # Deterministic order: backend-major over size over seed.
+    assert [t.config["seed"] for t in trials[:3]] == [0, 1, 2]
+    assert trials[0].config["backend"] == "default"
+    assert trials[-1].config["backend"] == "knem"
+
+
+def test_expansion_is_deterministic():
+    a = _spec().trials()
+    b = _spec().trials()
+    assert [t.hash for t in a] == [t.hash for t in b]
+
+
+def test_same_config_same_hash_regardless_of_key_order():
+    config = _spec().trials()[0].config
+    shuffled = dict(reversed(list(config.items())))
+    assert trial_hash(config) == trial_hash(shuffled)
+    assert canonical_json(config) == canonical_json(shuffled)
+
+
+def test_axis_change_changes_hash():
+    base = _spec().trials()[0].config
+    for key, value in [
+        ("size", 2 * MiB),
+        ("backend", "knem-ioat"),
+        ("machine", "xeon_x5460"),
+        ("seed", 99),
+        ("nnodes", 2),
+        ("drop", 0.1),
+        ("reps", 3),
+        ("noise_sigma", 0.0),
+    ]:
+        changed = {**base, key: value}
+        assert trial_hash(changed) != trial_hash(base), key
+
+
+def test_hashes_unique_across_expansion():
+    trials = _spec().trials()
+    assert len({t.hash for t in trials}) == len(trials)
+
+
+def test_group_strips_only_the_seed():
+    t0, t1, t2 = _spec().trials()[:3]
+    assert t0.group == t1.group == t2.group
+    assert "seed" not in group_config(t0.config)
+    assert t0.hash != t1.hash
+
+
+def test_group_label_is_readable_and_stable():
+    t = _spec().trials()[0]
+    assert group_label(t.config) == "pingpong/xeon_e5345/default/64KiB/n1"
+    lossy = {**t.config, "drop": 0.05, "tuning": "flat", "pair": [0, 4]}
+    assert group_label(lossy) == (
+        "pingpong/xeon_e5345/default/64KiB/n1/c0-4/drop0.05/flat"
+    )
+
+
+def test_spec_validation():
+    with pytest.raises(BenchmarkError):
+        CampaignSpec(workload="nope")
+    with pytest.raises(BenchmarkError):
+        CampaignSpec(machines=("atom330",))
+    with pytest.raises(BenchmarkError):
+        CampaignSpec(backends=("tcp",))
+    with pytest.raises(BenchmarkError):
+        CampaignSpec(sizes=())
+    with pytest.raises(BenchmarkError):
+        CampaignSpec(sizes=(0,))
+    with pytest.raises(BenchmarkError):
+        CampaignSpec(nnodes=(0,))
+    with pytest.raises(BenchmarkError):
+        CampaignSpec(tunings=("fastest",))
+    with pytest.raises(BenchmarkError):
+        CampaignSpec(noise_sigma=0.9)
+
+
+def test_trial_describe_mentions_seed_and_hash():
+    t = _spec().trials()[1]
+    assert f"seed={t.seed}" in t.describe()
+    assert t.short in t.describe()
+
+
+def test_spec_to_dict_is_json_ready():
+    import json
+
+    doc = json.dumps(_spec().to_dict())
+    assert "xeon_e5345" in doc
+
+
+def test_describe_counts_trials():
+    assert "12 trials" in _spec().describe()
