@@ -11,6 +11,7 @@ Examples::
     repro-bench trace --mode knem-ioat --size 1M --out trace.json
     repro-bench campaign run --backends default,knem --sizes 64K,1M --seeds 3
     repro-bench campaign compare --baseline BENCH_campaign.json
+    repro-bench sched --out BENCH_sched.json
 """
 
 from __future__ import annotations
@@ -152,6 +153,56 @@ def _run_trace(argv: list[str]) -> int:
     return 0
 
 
+def _sched_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-bench sched",
+        description="Run the multi-tenant scheduling demo: a stream "
+        "victim co-located with a pingpong aggressor on the shared-L2 "
+        "nehalem8 preset, once with shm double-buffering (cache "
+        "pollution) and once with KNEM+I/OAT (DMA bypass), plus a "
+        "scheduling-policy comparison over a queued job mix.",
+    )
+    p.add_argument(
+        "--out",
+        metavar="FILE",
+        default="BENCH_sched.json",
+        help="where to write the JSON document (default: BENCH_sched.json)",
+    )
+    p.add_argument(
+        "--max-events",
+        type=int,
+        default=5_000_000,
+        help="engine watchdog budget per scheduler run (default: 5M)",
+    )
+    return p
+
+
+def _run_sched(argv: list[str]) -> int:
+    args = _sched_parser().parse_args(argv)
+
+    from repro.bench.store import atomic_write_json
+    from repro.sched.bench import format_sched_doc, run_sched_bench
+
+    doc = run_sched_bench(max_events=args.max_events)
+    print(format_sched_doc(doc))
+    atomic_write_json(args.out, doc)
+    print(f"saved sched document to {args.out}", file=sys.stderr)
+    inter = doc["interference"]
+    ok = (
+        inter["eviction_gap"] > 0
+        and inter["slowdown_gap"] > 0
+        and inter["dma"]["victim_l2_lines_evicted_by_others"] == 0
+    )
+    if not ok:
+        print(
+            "sched bench FAILED its own invariant: shm aggressor must "
+            "evict more victim lines (and slow it more) than the I/OAT "
+            "aggressor",
+            file=sys.stderr,
+        )
+    return 0 if ok else 1
+
+
 def _campaign_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro-bench campaign",
@@ -170,8 +221,18 @@ def _campaign_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--workload",
         default="pingpong",
-        choices=["pingpong", "allreduce", "crossover"],
+        choices=["pingpong", "allreduce", "crossover", "sched"],
         help="what each trial measures (default: pingpong)",
+    )
+    p.add_argument(
+        "--sched-policies",
+        default="fifo",
+        help="comma list of scheduler policies (sched workload only)",
+    )
+    p.add_argument(
+        "--job-mixes",
+        default="pair",
+        help="comma list of job mixes (sched workload only)",
     )
     p.add_argument(
         "--machines",
@@ -267,6 +328,8 @@ def _campaign_spec(args):
         seeds=tuple(range(args.seeds)),
         reps=args.reps,
         noise_sigma=args.sigma,
+        sched_policies=tuple(_csv(args.sched_policies)),
+        job_mixes=tuple(_csv(args.job_mixes)),
         trace_dir=args.trace_dir,
     )
 
@@ -364,6 +427,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_trace(argv[1:])
     if argv and argv[0] == "campaign":
         return _run_campaign_cli(argv[1:])
+    if argv and argv[0] == "sched":
+        return _run_sched(argv[1:])
     args = _parser().parse_args(argv)
 
     if args.list:
@@ -372,7 +437,8 @@ def main(argv: list[str] | None = None) -> int:
         print("extra:   --thresholds (Sec. 3.5 crossovers)")
         print("         --validate   (check every paper claim)")
         print("subcommands: trace (Perfetto export), campaign (cached")
-        print("             parallel sweeps + regression gate)")
+        print("             parallel sweeps + regression gate),")
+        print("             sched (multi-tenant interference demo)")
         return 0
 
     t0 = time.time()

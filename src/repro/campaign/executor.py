@@ -204,10 +204,42 @@ def _run_crossover(config: dict, trace_dir: Optional[str]) -> dict:
     }
 
 
+def _run_sched(config: dict, trace_dir: Optional[str]) -> dict:
+    from repro.sched import Scheduler, mix_jobs
+
+    sched = Scheduler(
+        _topo(config["machine"]),
+        policy=config["sched_policy"],
+        obs=_obs(config, trace_dir),
+        max_events=config["max_events"],
+        max_sim_time=config["max_sim_time"],
+    )
+    jobs = mix_jobs(
+        config["job_mix"],
+        size=config["size"],
+        mode=config["backend"],
+        seed=config["seed"],
+        reps=config["reps"],
+    )
+    result = sched.run(jobs)
+    slowdowns = [jr.slowdown for jr in result.jobs if jr.slowdown is not None]
+    waits = [jr.wait_seconds for jr in result.jobs]
+    return {
+        "primary": "makespan_seconds",
+        "makespan_seconds": result.makespan,
+        "cross_job_l2_evictions": result.cross_job_evictions,
+        "max_slowdown": max(slowdowns) if slowdowns else 1.0,
+        "mean_wait_seconds": sum(waits) / len(waits),
+        "ctx_switch_seconds": result.ctx_switch_seconds,
+        "elapsed": result.makespan,
+    }
+
+
 _WORKLOAD_FNS: dict[str, Callable[[dict, Optional[str]], dict]] = {
     "pingpong": _run_pingpong,
     "allreduce": _run_allreduce,
     "crossover": _run_crossover,
+    "sched": _run_sched,
 }
 
 

@@ -37,7 +37,7 @@ __all__ = [
 ]
 
 #: Workloads the executor knows how to run (see repro.campaign.executor).
-WORKLOADS = ("pingpong", "allreduce", "crossover")
+WORKLOADS = ("pingpong", "allreduce", "crossover", "sched")
 
 #: Machine presets a trial config may name (see repro.hw.presets).
 MACHINES = ("xeon_e5345", "xeon_x5460", "nehalem8")
@@ -79,6 +79,12 @@ def group_label(config: dict) -> str:
         parts.append(f"drop{config['drop']:g}")
     if config.get("tuning", "default") != "default":
         parts.append(config["tuning"])
+    # Scheduler axes only exist on "sched" trials, so legacy labels
+    # (and the committed baseline documents keyed on them) never move.
+    if "sched_policy" in config:
+        parts.append(config["sched_policy"])
+    if "job_mix" in config:
+        parts.append(config["job_mix"])
     return "/".join(parts)
 
 
@@ -146,6 +152,12 @@ class CampaignSpec:
     #: Per-trial Engine watchdog budgets (LivelockError past either).
     max_events: int = 20_000_000
     max_sim_time: float = 60.0
+    #: Scheduling-policy axis, used only by the "sched" workload (the
+    #: keys are absent from other workloads' configs, so legacy trial
+    #: hashes and labels are untouched).
+    sched_policies: tuple = ("fifo",)
+    #: Job-mix axis of the "sched" workload (see repro.sched.job).
+    job_mixes: tuple = ("pair",)
     #: When set, each executed trial writes a Perfetto trace to
     #: ``<trace_dir>/<hash>.trace.json`` (not part of the trial hash).
     trace_dir: Optional[str] = None
@@ -184,17 +196,44 @@ class CampaignSpec:
             )
         if not 0.0 <= self.noise_sigma <= 0.5:
             raise BenchmarkError(f"noise_sigma out of [0, 0.5]: {self.noise_sigma}")
+        if self.workload == "sched":
+            # Imported lazily: spec.py stays light for non-sched specs.
+            from repro.sched.job import JOB_MIXES
+            from repro.sched.scheduler import SCHED_POLICIES
+
+            if not self.sched_policies or not self.job_mixes:
+                raise BenchmarkError(
+                    "sched campaigns need non-empty sched_policies and "
+                    "job_mixes axes"
+                )
+            for p in self.sched_policies:
+                if p not in SCHED_POLICIES:
+                    raise BenchmarkError(
+                        f"unknown sched policy {p!r}; pick from {SCHED_POLICIES}"
+                    )
+            for m in self.job_mixes:
+                if m not in JOB_MIXES:
+                    raise BenchmarkError(
+                        f"unknown job mix {m!r}; pick from {JOB_MIXES}"
+                    )
 
     def trials(self) -> list[Trial]:
         """Expand the cross-product into deterministic trial order."""
         out = []
-        for machine, backend, size, nn, pair, drop, tuning, seed in (
+        # The scheduler axes multiply the product only for the "sched"
+        # workload; elsewhere they contribute a single empty variant and
+        # the keys never enter the config (hash compatibility).
+        if self.workload == "sched":
+            sched_axes = list(itertools.product(self.sched_policies, self.job_mixes))
+        else:
+            sched_axes = [(None, None)]
+        for machine, backend, size, nn, pair, drop, tuning, (pol, mix), seed in (
             itertools.product(
                 self.machines, self.backends, self.sizes, self.nnodes,
-                self.pairs, self.drops, self.tunings, self.seeds,
+                self.pairs, self.drops, self.tunings, sched_axes, self.seeds,
             )
         ):
-            out.append(Trial(config={
+            config = {
                 "workload": self.workload,
                 "machine": machine,
                 "backend": backend,
@@ -209,7 +248,11 @@ class CampaignSpec:
                 "noise_sigma": float(self.noise_sigma),
                 "max_events": int(self.max_events),
                 "max_sim_time": float(self.max_sim_time),
-            }))
+            }
+            if pol is not None:
+                config["sched_policy"] = pol
+                config["job_mix"] = mix
+            out.append(Trial(config=config))
         return out
 
     def to_dict(self) -> dict:

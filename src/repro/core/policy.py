@@ -79,6 +79,12 @@ class LmtConfig:
     ioat_threshold: Optional[int] = None
     #: Honour the collective concurrency hint when sizing DMAmin.
     use_collective_hint: bool = True
+    #: Under multi-tenant scheduling (:mod:`repro.sched`), count the
+    #: ranks of *every* co-located job sharing the receive cache in the
+    #: DMAmin denominator — the paper's "processes using the cache" is
+    #: a machine-wide count, not a per-job one.  Off, a job sizes its
+    #: threshold as if it owned the machine.
+    tenancy_aware: bool = True
     #: Enable the KNEM pin-registration cache (an extension beyond the
     #: paper's KNEM 0.5; amortizes repeated pins of reused buffers).
     knem_reg_cache: bool = False

@@ -26,6 +26,7 @@ __all__ = [
     "DatatypeError",
     "RankError",
     "LmtError",
+    "SchedError",
     "BenchmarkError",
 ]
 
@@ -134,6 +135,11 @@ class RankError(MpiError):
 
 class LmtError(MpiError):
     """Errors in a Large Message Transfer backend."""
+
+
+class SchedError(ReproError):
+    """Errors from the multi-tenant job scheduler (bad job specs,
+    unplaceable jobs, drained queues)."""
 
 
 class BenchmarkError(ReproError):

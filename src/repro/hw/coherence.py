@@ -115,6 +115,12 @@ class CoherenceDomain:
         self.topo = topo
         self.caches = caches
         self.papi = papi
+        #: Optional multi-tenant interference probe (duck-typed: needs
+        #: ``pre_access(die, start, end)`` and ``post_access(die, start,
+        #: end, token)``).  Installed by :mod:`repro.sched` to attribute
+        #: capacity evictions to the co-located job that caused them;
+        #: ``None`` (the default) costs one attribute check per stream.
+        self.interference = None
 
     def cache_of(self, core: int) -> ExtentLRUCache:
         return self.caches[self.topo.die_of(core)]
@@ -164,7 +170,11 @@ class CoherenceDomain:
                 writebacks += cache.downgrade(start, end)
         remote_only = _overlap_count(gaps, _merge_segments(remote_segments))
 
+        probe = self.interference
+        token = probe.pre_access(die, start, end) if probe is not None else None
         result = local.access(start, end, write=write)
+        if probe is not None:
+            probe.post_access(die, start, end, token)
         writebacks += result.writebacks
 
         remote_hits = min(result.misses, remote_only)

@@ -11,7 +11,10 @@ from __future__ import annotations
 from repro.errors import MpiError
 from repro.hw.topology import TopologySpec
 
-__all__ = ["bindings_for", "placement_summary"]
+__all__ = ["POLICIES", "bindings_for", "placement_summary"]
+
+#: The placement policies :func:`bindings_for` understands.
+POLICIES = ("compact", "spread", "pair-split")
 
 
 def bindings_for(topo: TopologySpec, nprocs: int, policy: str = "compact") -> list[int]:
@@ -39,7 +42,10 @@ def bindings_for(topo: TopologySpec, nprocs: int, policy: str = "compact") -> li
     if policy == "pair-split":
         spread = bindings_for(topo, topo.ncores, "spread")
         return spread[:nprocs]
-    raise MpiError(f"unknown placement policy {policy!r}")
+    raise MpiError(
+        f"unknown placement policy {policy!r}; valid policies: "
+        + ", ".join(repr(p) for p in POLICIES)
+    )
 
 
 def placement_summary(topo: TopologySpec, bindings: list[int]) -> dict:

@@ -75,9 +75,7 @@ class MpiWorld:
 
             reg_cache = RegistrationCache()
         self.knem = KnemDevice(machine, reg_cache=reg_cache)
-        self.spaces = [
-            AddressSpace(machine, pid=r, name=f"rank{r}") for r in range(nprocs)
-        ]
+        self.spaces = [self._make_space(r) for r in range(nprocs)]
         self.endpoints = [Endpoint(self, r, ncells=eager_cells) for r in range(nprocs)]
         self._pipes: dict[tuple[int, int], Pipe] = {}
         self._rings: dict[tuple[int, int], Any] = {}
@@ -90,6 +88,12 @@ class MpiWorld:
         self._hint_depth = 0
         self._active_lmts = 0
         self.max_concurrent_lmts = 0
+
+    def _make_space(self, rank: int) -> AddressSpace:
+        """Address-space factory; :class:`repro.sched` job worlds
+        override it to register allocations with the interference
+        ledger of a shared machine."""
+        return AddressSpace(self.machine, pid=rank, name=f"rank{rank}")
 
     # ----------------------------------------------------------- lookup
     def core_of(self, rank: int) -> int:

@@ -1,0 +1,42 @@
+"""repro.sched — multi-tenant job scheduling on the shared machine.
+
+Admits a seeded mix of MPI jobs into *one* simulated machine so that
+co-located jobs contend through the same cache hierarchy, with an
+interference ledger attributing every cross-job L2 eviction to the job
+whose traffic caused it.  See :mod:`repro.sched.scheduler` for the
+policies and :mod:`repro.sched.job` for the workload cast.
+"""
+
+from repro.sched.interference import InterferenceLedger
+from repro.sched.job import (
+    JOB_MIXES,
+    WORKLOADS,
+    JobMix,
+    JobSpec,
+    mix_jobs,
+    workload_main,
+)
+from repro.sched.scheduler import (
+    SCHED_POLICIES,
+    JobResult,
+    JobWorld,
+    SchedResult,
+    Scheduler,
+    run_jobs,
+)
+
+__all__ = [
+    "InterferenceLedger",
+    "JobSpec",
+    "JobMix",
+    "JobResult",
+    "JobWorld",
+    "SchedResult",
+    "Scheduler",
+    "run_jobs",
+    "mix_jobs",
+    "workload_main",
+    "WORKLOADS",
+    "JOB_MIXES",
+    "SCHED_POLICIES",
+]

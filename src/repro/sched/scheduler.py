@@ -1,0 +1,518 @@
+"""The multi-tenant job scheduler.
+
+One :class:`Scheduler` owns one shared simulated machine.  Jobs
+(:class:`~repro.sched.job.JobSpec`) arrive over simulated time, wait in
+a queue, get placed on cores by a pluggable policy, and run as ordinary
+:class:`~repro.mpi.world.MpiWorld` MPI jobs — *all on the same engine
+and the same machine*, so co-located jobs contend through the very same
+:class:`~repro.hw.cache.ExtentLRUCache` hierarchy the single-job
+benchmarks exercise.  That is the point: the paper's cache-pollution
+argument (shm double-buffering streams both buffers through the shared
+L2; I/OAT DMA bypasses it) becomes a *cross-job* effect you can
+schedule around.
+
+Scheduling policies:
+
+``fifo``
+    Strict arrival order with space sharing: the head of the queue
+    waits for enough idle cores; nothing overtakes it.
+``backfill``
+    Space sharing, but any queued job that fits the currently idle
+    cores may start ahead of a blocked head (classic EASY-style
+    backfill without reservations — safe here because job runtimes are
+    unknown to the scheduler).
+``gang``
+    Time sharing: every job starts at arrival, all ranks co-scheduled.
+    Cores may be oversubscribed; the
+    :class:`~repro.sim.resources.ProcessorSharing` cores stretch all
+    residents proportionally and a per-core context-switch daemon
+    charges ``ctx_switch`` seconds of core time per resident job per
+    ``quantum`` while a core is shared.  The daemon exits as soon as
+    the core drops back to one job, so the event heap always drains —
+    gang runs are watchdog-safe by construction.
+
+Placement within a policy follows the job's ``placement`` preference
+(``packed`` = compact core order, maximizing cache sharing inside the
+job; ``spread`` = round-robin across dies, minimizing it), built on the
+same orders as :func:`repro.mpi.affinity.bindings_for`.
+
+Every job gets an isolated-baseline rerun (same topology, same
+bindings, empty machine) after the shared run; ``slowdown`` is the
+ratio of co-scheduled to isolated runtime — the multi-tenancy tax,
+broken down by the interference ledger into who evicted whom.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.policy import LmtConfig, LmtPolicy
+from repro.errors import DeadlockError, SchedError
+from repro.hw.machine import Machine
+from repro.hw.topology import TopologySpec
+from repro.kernel.address_space import AddressSpace
+from repro.mpi.affinity import bindings_for
+from repro.mpi.world import MpiWorld, RankContext
+from repro.sched.interference import InterferenceLedger
+from repro.sched.job import JobSpec, workload_main
+from repro.sim.engine import Engine
+
+__all__ = ["Scheduler", "JobResult", "SchedResult", "SCHED_POLICIES", "run_jobs"]
+
+#: The scheduling policies :class:`Scheduler` understands.
+SCHED_POLICIES = ("fifo", "backfill", "gang")
+
+
+@dataclass
+class JobResult:
+    """Outcome of one job in a shared run."""
+
+    job_id: int
+    spec: JobSpec
+    bindings: list[int]
+    #: Simulated times: submission, placement, completion.
+    arrival: float = 0.0
+    started: float = 0.0
+    finished: float = 0.0
+    #: Runtime of the identical job alone on an identical machine.
+    isolated_seconds: Optional[float] = None
+    #: Interference breakdown from the ledger (who evicted whom).
+    interference: dict = field(default_factory=dict)
+    results: list = field(default_factory=list)
+
+    @property
+    def wait_seconds(self) -> float:
+        return self.started - self.arrival
+
+    @property
+    def duration(self) -> float:
+        return self.finished - self.started
+
+    @property
+    def slowdown(self) -> Optional[float]:
+        """Co-scheduled runtime over isolated runtime (>= 1 when the
+        machine hurts you, ~1 when your neighbours stay out of your
+        cache)."""
+        if not self.isolated_seconds:
+            return None
+        return self.duration / self.isolated_seconds
+
+    def document(self) -> dict:
+        """JSON-stable record (everything deterministic, sorted use)."""
+        return {
+            "job_id": self.job_id,
+            "name": self.spec.name,
+            "workload": self.spec.workload,
+            "nprocs": self.spec.nprocs,
+            "size": self.spec.size,
+            "reps": self.spec.reps,
+            "mode": self.spec.mode,
+            "placement": self.spec.placement,
+            "bindings": list(self.bindings),
+            "arrival": self.arrival,
+            "started": self.started,
+            "finished": self.finished,
+            "wait_seconds": self.wait_seconds,
+            "duration_seconds": self.duration,
+            "isolated_seconds": self.isolated_seconds,
+            "slowdown": self.slowdown,
+            "interference": self.interference,
+        }
+
+
+@dataclass
+class SchedResult:
+    """Outcome of one :meth:`Scheduler.run`."""
+
+    policy: str
+    jobs: list[JobResult]
+    makespan: float
+    #: Total cache lines any job lost to another job's CPU streams.
+    cross_job_evictions: int
+    #: (evictor job_id | -1, victim job_id) -> lines.
+    pair_evictions: dict
+    ctx_switch_seconds: float
+    metrics: dict = field(default_factory=dict)
+    obs: object = None
+
+    def job(self, name: str) -> JobResult:
+        for jr in self.jobs:
+            if jr.spec.name == name:
+                return jr
+        raise SchedError(f"no job named {name!r} in this run")
+
+    def document(self) -> dict:
+        return {
+            "policy": self.policy,
+            "makespan_seconds": self.makespan,
+            "cross_job_l2_evictions": self.cross_job_evictions,
+            "pair_evictions": {
+                f"{evictor}->{victim}": lines
+                for (evictor, victim), lines in sorted(self.pair_evictions.items())
+            },
+            "ctx_switch_seconds": self.ctx_switch_seconds,
+            "jobs": [jr.document() for jr in self.jobs],
+        }
+
+
+class _TrackedSpace(AddressSpace):
+    """AddressSpace that reports every allocation to the ledger, so
+    cache lines have job owners."""
+
+    def __init__(self, machine, pid, name, ledger, job_id) -> None:
+        super().__init__(machine, pid, name=name)
+        self._ledger = ledger
+        self._job_id = job_id
+
+    def alloc(self, nbytes, name="", align=None):
+        kwargs = {} if align is None else {"align": align}
+        buf = super().alloc(nbytes, name=name, **kwargs)
+        self._ledger.register(self._job_id, buf.phys, buf.nbytes)
+        return buf
+
+
+class JobWorld(MpiWorld):
+    """An MpiWorld admitted by a scheduler into a *shared* machine.
+
+    Differences from a standalone world: allocations (including the shm
+    copy-ring cells) are registered with the interference ledger, and —
+    when the LMT config is ``tenancy_aware`` — the DMAmin denominator
+    counts every co-located rank of *every* active job sharing the
+    receive cache, not just this job's own ranks.
+    """
+
+    def __init__(self, scheduler: "Scheduler", job_id: int, spec: JobSpec,
+                 bindings: Sequence[int], policy: LmtPolicy) -> None:
+        # Set before super().__init__: the base constructor calls
+        # _make_space, which needs them.
+        self._scheduler = scheduler
+        self._job_id = job_id
+        self.spec = spec
+        super().__init__(
+            scheduler.engine, scheduler.machine, spec.nprocs, bindings, policy
+        )
+
+    def _make_space(self, rank: int) -> AddressSpace:
+        return _TrackedSpace(
+            self.machine,
+            pid=rank,
+            name=f"job{self._job_id}.rank{rank}",
+            ledger=self._scheduler.ledger,
+            job_id=self._job_id,
+        )
+
+    def copy_ring(self, src_rank: int, dst_rank: int):
+        key = (src_rank, dst_rank)
+        fresh = key not in self._rings
+        ring = super().copy_ring(src_rank, dst_rank)
+        if fresh:
+            # The ring's hot lines churn through the shared cache on the
+            # job's behalf; charge their evictions to this job.
+            for cell in ring.cells:
+                self._scheduler.ledger.register(
+                    self._job_id, cell.phys, cell.nbytes
+                )
+        return ring
+
+    def cache_sharers(self, rank: int) -> int:
+        if not self.policy.config.tenancy_aware:
+            return super().cache_sharers(rank)
+        return self._scheduler.sharers_on_cache(self.core_of(rank))
+
+
+class _JobState:
+    """Scheduler-internal bookkeeping for one submitted job."""
+
+    __slots__ = ("job_id", "spec", "placed", "result", "supervisor")
+
+    def __init__(self, job_id: int, spec: JobSpec, placed) -> None:
+        self.job_id = job_id
+        self.spec = spec
+        self.placed = placed  # Event -> bindings
+        self.result: Optional[JobResult] = None
+        self.supervisor = None
+
+
+class Scheduler:
+    """Admit a mix of MPI jobs into one shared simulated machine."""
+
+    def __init__(
+        self,
+        topo: TopologySpec,
+        policy: str = "fifo",
+        quantum: float = 200e-6,
+        ctx_switch: float = 5e-6,
+        obs=None,
+        max_events: Optional[int] = None,
+        max_sim_time: Optional[float] = None,
+        isolated_baselines: bool = True,
+        tenancy_aware: bool = True,
+    ) -> None:
+        if policy not in SCHED_POLICIES:
+            raise SchedError(
+                f"unknown scheduling policy {policy!r}; valid policies: "
+                + ", ".join(repr(p) for p in SCHED_POLICIES)
+            )
+        if quantum <= 0 or ctx_switch < 0:
+            raise SchedError(
+                f"need quantum > 0 and ctx_switch >= 0, "
+                f"got {quantum!r} / {ctx_switch!r}"
+            )
+        self.topo = topo
+        self.policy_name = policy
+        self.quantum = quantum
+        self.ctx_switch = ctx_switch
+        self.isolated_baselines = isolated_baselines
+        self.tenancy_aware = tenancy_aware
+        self.engine = Engine(
+            obs=obs, max_events=max_events, max_sim_time=max_sim_time
+        )
+        self.machine = Machine(self.engine, topo)
+        self.ledger = InterferenceLedger(self.machine)
+        self.machine.coherence.interference = self.ledger
+        #: core -> number of resident jobs (0 = idle).
+        self._core_load = [0] * topo.ncores
+        #: job_id -> bindings of currently *running* jobs.
+        self._active: dict[int, list[int]] = {}
+        self._queue: list[_JobState] = []
+        self._states: list[_JobState] = []
+        self._cs_daemons: set[int] = set()
+        self.ctx_switch_seconds = 0.0
+        self._ran = False
+
+    # ------------------------------------------------------- placement
+    def _preference(self, spec: JobSpec) -> list[int]:
+        """Core visit order for a job's placement preference."""
+        if spec.placement == "spread":
+            return bindings_for(self.topo, self.topo.ncores, "spread")
+        return list(range(self.topo.ncores))
+
+    def _idle_fit(self, spec: JobSpec) -> Optional[list[int]]:
+        """First ``nprocs`` idle cores in preference order, or None."""
+        idle = [c for c in self._preference(spec) if self._core_load[c] == 0]
+        if len(idle) < spec.nprocs:
+            return None
+        return idle[: spec.nprocs]
+
+    def _shared_fit(self, spec: JobSpec) -> list[int]:
+        """Least-loaded cores in preference order (gang: always fits)."""
+        order = self._preference(spec)
+        ranked = sorted(range(len(order)), key=lambda i: (self._core_load[order[i]], i))
+        return [order[i] for i in ranked[: spec.nprocs]]
+
+    def sharers_on_cache(self, core: int) -> int:
+        """Active ranks (any job) on cores sharing ``core``'s L2 — the
+        machine-wide DMAmin denominator of a tenancy-aware policy."""
+        count = 0
+        for bindings in self._active.values():
+            count += sum(
+                1 for c in bindings if self.topo.shares_cache(core, c)
+            )
+        return max(1, count)
+
+    # ------------------------------------------------------ scheduling
+    def _try_schedule(self) -> None:
+        """Start every queued job the policy admits right now."""
+        if self.policy_name == "gang":
+            while self._queue:
+                st = self._queue.pop(0)
+                self._start(st, self._shared_fit(st.spec))
+            return
+        admitted = True
+        while admitted:
+            admitted = False
+            for i, st in enumerate(self._queue):
+                bindings = self._idle_fit(st.spec)
+                if bindings is not None:
+                    self._queue.pop(i)
+                    self._start(st, bindings)
+                    admitted = True
+                    break
+                if self.policy_name == "fifo":
+                    return  # head blocks everything behind it
+
+    def _start(self, st: _JobState, bindings: list[int]) -> None:
+        for core in bindings:
+            self._core_load[core] += 1
+        self._active[st.job_id] = list(bindings)
+        for core in bindings:
+            if self._core_load[core] > 1 and core not in self._cs_daemons:
+                self._cs_daemons.add(core)
+                self.engine.process(
+                    self._cs_daemon(core), name=f"ctxswitch.core{core}",
+                    daemon=True,
+                )
+        st.placed.succeed(list(bindings))
+
+    def _finish(self, st: _JobState) -> None:
+        for core in self._active.pop(st.job_id):
+            self._core_load[core] -= 1
+        self.ledger.retire_job(st.job_id)
+        self.engine.call_soon(self._try_schedule)
+
+    # ---------------------------------------------------- time sharing
+    def _cs_daemon(self, core: int):
+        """Charge context-switch overhead while ``core`` is shared.
+
+        Exits as soon as the core drops to a single resident job, so a
+        finished gang leaves nothing ticking — the event heap drains
+        and :meth:`Engine.run` returns normally.
+        """
+        while self._core_load[core] > 1:
+            yield self.quantum
+            residents = self._core_load[core]
+            if residents > 1 and self.ctx_switch > 0:
+                cost = self.ctx_switch * residents
+                self.ctx_switch_seconds += cost
+                yield self.machine.cores[core].busy(cost)
+        self._cs_daemons.discard(core)
+
+    # ------------------------------------------------------ job driver
+    def _supervise(self, st: _JobState):
+        spec = st.spec
+        if spec.arrival > 0:
+            yield spec.arrival
+        arrival = self.engine.now
+        self._queue.append(st)
+        # Deterministic service order: priority first, then arrival,
+        # then submission order (job_id).
+        self._queue.sort(key=lambda s: (-s.spec.priority, s.spec.arrival, s.job_id))
+        self._try_schedule()
+        bindings = yield st.placed
+        started = self.engine.now
+        metrics = self.engine.obs.metrics
+        metrics.histogram("sched.wait_seconds").observe(started - arrival)
+        span = None
+        if self.engine.obs.enabled:
+            span = self.engine.obs.begin(
+                f"job:{spec.name}",
+                kind="job",
+                track=f"job{st.job_id}",
+                workload=spec.workload,
+                mode=spec.mode,
+                nprocs=spec.nprocs,
+            )
+        self.ledger.add_job(st.job_id)
+        policy = LmtPolicy(
+            self.topo,
+            LmtConfig(mode=spec.mode, tenancy_aware=self.tenancy_aware),
+        )
+        world = JobWorld(self, st.job_id, spec, bindings, policy)
+        main = workload_main(spec)
+        procs = [
+            self.engine.process(
+                main(RankContext(world, r)), name=f"{spec.name}.rank{r}"
+            )
+            for r in range(spec.nprocs)
+        ]
+        for proc in procs:
+            yield proc
+        self.engine.obs.end(span)
+        st.result = JobResult(
+            job_id=st.job_id,
+            spec=spec,
+            bindings=list(bindings),
+            arrival=arrival,
+            started=started,
+            finished=self.engine.now,
+            results=[p.result for p in procs],
+        )
+        self._finish(st)
+
+    # ------------------------------------------------------------- run
+    def run(self, jobs: Sequence[JobSpec]) -> SchedResult:
+        """Run a mix of jobs to completion on the shared machine."""
+        if self._ran:
+            raise SchedError("a Scheduler instance runs exactly once")
+        self._ran = True
+        jobs = list(jobs)
+        if not jobs:
+            raise SchedError("no jobs to schedule")
+        names = set()
+        for spec in jobs:
+            if spec.nprocs > self.topo.ncores:
+                raise SchedError(
+                    f"job {spec.name!r} needs {spec.nprocs} cores but the "
+                    f"machine has {self.topo.ncores}"
+                )
+            if spec.name in names:
+                raise SchedError(f"duplicate job name {spec.name!r}")
+            names.add(spec.name)
+        order = sorted(
+            range(len(jobs)), key=lambda i: (jobs[i].arrival, -jobs[i].priority, i)
+        )
+        for job_id, i in enumerate(order):
+            st = _JobState(job_id, jobs[i], self.engine.event(f"job{job_id}.placed"))
+            self._states.append(st)
+            st.supervisor = self.engine.process(
+                self._supervise(st), name=f"sched.{st.spec.name}"
+            )
+        try:
+            self.engine.run()
+        except DeadlockError as exc:
+            waiting = [s.spec.name for s in self._queue]
+            if waiting:
+                raise SchedError(
+                    "scheduler drained with jobs still queued: "
+                    + ", ".join(waiting)
+                ) from exc
+            raise
+        makespan = self.engine.now
+        results = [st.result for st in self._states]
+        if self.isolated_baselines:
+            for st in self._states:
+                st.result.isolated_seconds = self._isolated_runtime(st.spec)
+        for st in self._states:
+            st.result.interference = self.ledger.job_summary(st.job_id)
+        self._publish_metrics(results, makespan)
+        self.engine.obs.finalize()
+        return SchedResult(
+            policy=self.policy_name,
+            jobs=results,
+            makespan=makespan,
+            cross_job_evictions=sum(self.ledger.evicted_by_others.values()),
+            pair_evictions=dict(self.ledger.pair_evictions),
+            ctx_switch_seconds=self.ctx_switch_seconds,
+            metrics=self.engine.obs.metrics.snapshot(),
+            obs=self.engine.obs,
+        )
+
+    def _isolated_runtime(self, spec: JobSpec) -> float:
+        """The same job, alone, on an identical empty machine."""
+        from repro.mpi.world import run_mpi
+
+        idle = self._preference(spec)[: spec.nprocs]
+        result = run_mpi(
+            self.topo,
+            nprocs=spec.nprocs,
+            main=workload_main(spec),
+            bindings=idle,
+            config=LmtConfig(mode=spec.mode, tenancy_aware=self.tenancy_aware),
+        )
+        return result.elapsed
+
+    def _publish_metrics(self, results: list[JobResult], makespan: float) -> None:
+        metrics = self.engine.obs.metrics
+        metrics.counter("sched.jobs_completed").set(len(results))
+        metrics.gauge("sched.makespan_seconds").set(makespan)
+        metrics.gauge("sched.ctx_switch_seconds").set(self.ctx_switch_seconds)
+        metrics.counter("sched.cross_job_l2_evictions").set(
+            sum(self.ledger.evicted_by_others.values())
+        )
+        for jr in results:
+            prefix = f"sched.job.{jr.spec.name}"
+            metrics.gauge(f"{prefix}.wait_seconds").set(jr.wait_seconds)
+            metrics.gauge(f"{prefix}.duration_seconds").set(jr.duration)
+            if jr.slowdown is not None:
+                metrics.gauge(f"{prefix}.slowdown").set(jr.slowdown)
+            metrics.counter(f"{prefix}.l2_lines_evicted_by_others").set(
+                jr.interference.get("l2_lines_evicted_by_others", 0)
+            )
+
+
+def run_jobs(
+    topo: TopologySpec, jobs: Sequence[JobSpec], policy: str = "fifo", **kwargs
+) -> SchedResult:
+    """One-shot convenience: schedule ``jobs`` on a fresh machine."""
+    return Scheduler(topo, policy=policy, **kwargs).run(jobs)

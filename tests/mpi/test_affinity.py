@@ -5,7 +5,7 @@ import pytest
 from repro.bench.imb import imb_pingpong
 from repro.errors import MpiError
 from repro.hw import nehalem8, xeon_e5345
-from repro.mpi.affinity import bindings_for, placement_summary
+from repro.mpi.affinity import POLICIES, bindings_for, placement_summary
 from repro.units import MiB
 
 TOPO = xeon_e5345()
@@ -35,6 +35,16 @@ def test_bad_policy_and_counts_rejected():
         bindings_for(TOPO, 2, "diagonal")
     with pytest.raises(MpiError):
         bindings_for(TOPO, 99, "compact")
+
+
+def test_unknown_policy_error_lists_valid_policies():
+    """The rejection must name the offender and every valid policy."""
+    with pytest.raises(MpiError) as excinfo:
+        bindings_for(TOPO, 2, "zigzag")
+    message = str(excinfo.value)
+    assert "zigzag" in message
+    for policy in POLICIES:
+        assert repr(policy) in message
 
 
 def test_placement_summary_counts():

@@ -1,0 +1,200 @@
+"""Scheduler semantics: specs, policies, queueing, watchdog safety."""
+
+import pytest
+
+from repro.errors import SchedError
+from repro.hw import nehalem8, xeon_e5345
+from repro.sched import JobSpec, Scheduler, run_jobs
+from repro.units import MiB
+
+SMALL = 256 * 1024
+
+
+def _pp(name, nprocs=2, **kw):
+    kw.setdefault("size", SMALL)
+    return JobSpec(name=name, workload="pingpong", nprocs=nprocs, **kw)
+
+
+# ------------------------------------------------------------ validation
+def test_bad_specs_rejected():
+    with pytest.raises(SchedError):
+        JobSpec(name="x", workload="fft")
+    with pytest.raises(SchedError):
+        JobSpec(name="x", mode="telepathy")
+    with pytest.raises(SchedError):
+        JobSpec(name="x", workload="pingpong", nprocs=3)
+    with pytest.raises(SchedError):
+        JobSpec(name="x", placement="diagonal")
+    with pytest.raises(SchedError):
+        JobSpec(name="x", arrival=-1.0)
+
+
+def test_bad_scheduler_parameters_rejected():
+    with pytest.raises(SchedError):
+        Scheduler(nehalem8(), policy="lottery")
+    with pytest.raises(SchedError):
+        Scheduler(nehalem8(), quantum=0.0)
+
+
+def test_oversized_job_rejected_at_submit():
+    sched = Scheduler(xeon_e5345())
+    with pytest.raises(SchedError):
+        sched.run([_pp("huge", nprocs=16)])
+
+
+def test_duplicate_names_rejected():
+    with pytest.raises(SchedError):
+        run_jobs(nehalem8(), [_pp("twin"), _pp("twin")])
+
+
+def test_scheduler_runs_once():
+    sched = Scheduler(nehalem8(), isolated_baselines=False)
+    sched.run([_pp("a")])
+    with pytest.raises(SchedError):
+        sched.run([_pp("b")])
+
+
+# -------------------------------------------------------------- queueing
+def test_fifo_queues_when_machine_full():
+    """3 x 4 ranks on 8 cores: the third job must wait for the first
+    completion, and its wait shows in both the result and the metrics."""
+    jobs = [_pp(f"j{i}", nprocs=4) for i in range(3)]
+    result = run_jobs(nehalem8(), jobs, policy="fifo",
+                      isolated_baselines=False)
+    waits = {jr.spec.name: jr.wait_seconds for jr in result.jobs}
+    assert waits["j0"] == 0.0 and waits["j1"] == 0.0
+    assert waits["j2"] > 0.0
+    hist = result.metrics["sched.wait_seconds"]
+    assert hist["count"] == 3
+    assert hist["max"] == pytest.approx(waits["j2"])
+    assert result.metrics["sched.job.j2.wait_seconds"] == pytest.approx(
+        waits["j2"]
+    )
+
+
+def test_fifo_head_blocks_backfill_overtakes():
+    """A wide head job blocks fifo; backfill lets a narrow one through."""
+    jobs = [
+        _pp("wide0", nprocs=6),
+        _pp("wide1", nprocs=6),   # blocks: only 2 cores idle
+        _pp("narrow", nprocs=2),  # fits beside wide0
+    ]
+    fifo = run_jobs(nehalem8(), jobs, policy="fifo", isolated_baselines=False)
+    back = run_jobs(nehalem8(), jobs, policy="backfill",
+                    isolated_baselines=False)
+    assert fifo.job("narrow").wait_seconds > 0.0
+    assert back.job("narrow").wait_seconds == 0.0
+    assert back.makespan <= fifo.makespan
+
+
+def test_priority_reorders_equal_arrivals():
+    jobs = [
+        _pp("lo", nprocs=6, priority=0),
+        _pp("hi", nprocs=6, priority=5),
+    ]
+    result = run_jobs(nehalem8(), jobs, policy="fifo",
+                      isolated_baselines=False)
+    assert result.job("hi").wait_seconds == 0.0
+    assert result.job("lo").wait_seconds > 0.0
+
+
+def test_arrivals_respected():
+    late = 0.002
+    jobs = [_pp("early"), _pp("late", arrival=late)]
+    result = run_jobs(nehalem8(), jobs, isolated_baselines=False)
+    assert result.job("early").started == 0.0
+    assert result.job("late").started >= late
+
+
+# ------------------------------------------------------------------ gang
+def test_gang_time_shares_and_terminates_under_watchdog():
+    """Oversubscribing 8 cores with 12 ranks must finish (daemons exit
+    with the last co-runner), never deadlock, and charge context
+    switches."""
+    jobs = [_pp(f"g{i}", nprocs=4) for i in range(3)]
+    result = run_jobs(
+        nehalem8(), jobs, policy="gang", max_events=5_000_000,
+        isolated_baselines=False,
+    )
+    assert all(jr.wait_seconds == 0.0 for jr in result.jobs)
+    assert result.ctx_switch_seconds > 0.0
+    # Time sharing stretches the mix versus space sharing.
+    fifo = run_jobs(nehalem8(), jobs, policy="fifo",
+                    isolated_baselines=False)
+    assert result.makespan > fifo.job("g0").duration
+
+
+def test_gang_on_empty_cores_charges_nothing():
+    result = run_jobs(nehalem8(), [_pp("solo")], policy="gang",
+                      isolated_baselines=False)
+    assert result.ctx_switch_seconds == 0.0
+
+
+# -------------------------------------------------------------- placement
+def test_spread_placement_crosses_dies():
+    topo = xeon_e5345()
+    result = run_jobs(
+        topo,
+        [JobSpec(name="s", workload="pingpong", nprocs=4, size=SMALL,
+                 placement="spread")],
+        isolated_baselines=False,
+    )
+    bindings = result.jobs[0].bindings
+    assert len({topo.die_of(c) for c in bindings}) == 4
+
+
+def test_packed_placement_shares_cache():
+    topo = xeon_e5345()
+    result = run_jobs(
+        topo,
+        [JobSpec(name="p", workload="pingpong", nprocs=2, size=SMALL)],
+        isolated_baselines=False,
+    )
+    a, b = result.jobs[0].bindings
+    assert topo.shares_cache(a, b)
+
+
+# ------------------------------------------------------- tenancy awareness
+def test_tenancy_aware_dmamin_counts_other_jobs():
+    """With two co-located jobs behind one L2, a tenancy-aware world
+    reports more cache sharers than the job's own rank count."""
+    sched = Scheduler(nehalem8(), isolated_baselines=False)
+    result = sched.run([_pp("a"), _pp("b"), _pp("c")])
+    assert result.makespan > 0
+    # After the run every job retired; during it, the DMAmin denominator
+    # saw all six ranks.  Recreate the moment directly:
+    sched2 = Scheduler(nehalem8(), isolated_baselines=False)
+    sched2._active = {0: [0, 1], 1: [2, 3]}
+    assert sched2.sharers_on_cache(0) == 4
+
+
+def test_worlds_share_one_machine():
+    """All jobs allocate from one physical allocator (disjoint ranges)."""
+    sched = Scheduler(nehalem8(), isolated_baselines=False)
+    result = sched.run([_pp("a"), _pp("b")])
+    ranges = sorted(
+        r for job_ranges in sched.ledger._ranges.values() for r in job_ranges
+    )
+    for (lo1, hi1), (lo2, hi2) in zip(ranges, ranges[1:]):
+        assert hi1 <= lo2  # no overlap between any two registered ranges
+    assert result.makespan > 0
+
+
+# ------------------------------------------------------------ job results
+def test_results_carry_workload_returns():
+    result = run_jobs(nehalem8(), [_pp("pp", size=1 * MiB)],
+                      isolated_baselines=False)
+    jr = result.jobs[0]
+    assert len(jr.results) == 2
+    assert jr.duration > 0
+    doc = jr.document()
+    assert doc["name"] == "pp" and doc["bindings"] == jr.bindings
+
+
+def test_isolated_baseline_and_slowdown():
+    result = run_jobs(nehalem8(), [_pp("solo", size=1 * MiB)])
+    jr = result.jobs[0]
+    assert jr.isolated_seconds is not None
+    # Alone on the machine, co-scheduled ~= isolated (the baseline
+    # includes standalone-world setup the scheduled path amortizes).
+    assert jr.slowdown == pytest.approx(1.0, rel=1e-2)

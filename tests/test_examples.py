@@ -38,6 +38,7 @@ def test_examples_directory_complete():
         "cluster_pingpong",
         "fault_injection",
         "trace_viewer",
+        "multi_job_interference",
     } <= names
 
 
@@ -87,6 +88,13 @@ def test_trace_viewer_runs(capsys, tmp_path):
     assert "is.B.8" in out and "spans" in out
     assert "ui.perfetto.dev" in out
     assert (tmp_path / "trace.json").exists()
+
+
+def test_multi_job_interference_runs(capsys):
+    out = _run_example("multi_job_interference", capsys)
+    assert "victim slowdown" in out
+    assert "knem-ioat-async" in out
+    assert "0 lines evicted" in out  # the I/OAT job stays out of the cache
 
 
 @pytest.mark.slow
