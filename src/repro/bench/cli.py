@@ -12,6 +12,11 @@ Examples::
     repro-bench campaign run --backends default,knem --sizes 64K,1M --seeds 3
     repro-bench campaign compare --baseline BENCH_campaign.json
     repro-bench sched --out BENCH_sched.json
+    repro-bench nhood --out BENCH_nhood.json
+
+Subcommands self-register in :data:`SUBCOMMANDS`; ``--list`` and the
+dispatcher both read that one registry, so the help can never drift
+from what actually runs (``tests/bench/test_cli.py`` pins this).
 """
 
 from __future__ import annotations
@@ -221,7 +226,7 @@ def _campaign_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--workload",
         default="pingpong",
-        choices=["pingpong", "allreduce", "crossover", "sched"],
+        choices=["pingpong", "allreduce", "crossover", "sched", "nhood"],
         help="what each trial measures (default: pingpong)",
     )
     p.add_argument(
@@ -233,6 +238,16 @@ def _campaign_parser() -> argparse.ArgumentParser:
         "--job-mixes",
         default="pair",
         help="comma list of job mixes (sched workload only)",
+    )
+    p.add_argument(
+        "--patterns",
+        default="irregular",
+        help="comma list of graph patterns (nhood workload only)",
+    )
+    p.add_argument(
+        "--strategies",
+        default="direct,node-aware",
+        help="comma list of exchange strategies (nhood workload only)",
     )
     p.add_argument(
         "--machines",
@@ -330,6 +345,8 @@ def _campaign_spec(args):
         noise_sigma=args.sigma,
         sched_policies=tuple(_csv(args.sched_policies)),
         job_mixes=tuple(_csv(args.job_mixes)),
+        patterns=tuple(_csv(args.patterns)),
+        strategies=tuple(_csv(args.strategies)),
         trace_dir=args.trace_dir,
     )
 
@@ -420,15 +437,72 @@ def _run_campaign_cli(argv: list[str]) -> int:
     return 1 if run.failures else 0
 
 
+def _nhood_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-bench nhood",
+        description="Run the node-aware neighborhood-collective demo: a "
+        "pattern x strategy x LMT-mode x nnodes sweep (message-bound "
+        "irregular graphs where aggregation wins, bandwidth-bound "
+        "stencils where it loses), plus the aggregation-leader cache "
+        "interference experiment on the shared-L2 nehalem8 preset.",
+    )
+    p.add_argument(
+        "--out",
+        metavar="FILE",
+        default="BENCH_nhood.json",
+        help="where to write the JSON document (default: BENCH_nhood.json)",
+    )
+    p.add_argument(
+        "--max-events",
+        type=int,
+        default=5_000_000,
+        help="engine watchdog budget per trial (default: 5M)",
+    )
+    return p
+
+
+def _run_nhood(argv: list[str]) -> int:
+    args = _nhood_parser().parse_args(argv)
+
+    from repro.bench.store import atomic_write_json
+    from repro.nhood.bench import format_nhood_doc, run_nhood_bench
+
+    doc = run_nhood_bench(max_events=args.max_events)
+    print(format_nhood_doc(doc))
+    atomic_write_json(args.out, doc)
+    print(f"saved nhood document to {args.out}", file=sys.stderr)
+    if not doc["self_check"]["ok"]:
+        print(
+            "nhood bench FAILED its own invariant: node-aware must cut "
+            "internode messages everywhere, win latency on message-bound "
+            "irregular graphs, lose on bandwidth-bound stencils, and only "
+            "the shm-staging leader may evict the victim's cache lines",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+#: The one subcommand registry: name -> (runner, one-line help).  The
+#: dispatcher and ``--list`` both read this, so adding a subcommand
+#: here is the whole wiring job.
+SUBCOMMANDS = {
+    "trace": (_run_trace, "Perfetto/Chrome trace export of a pingpong"),
+    "campaign": (
+        _run_campaign_cli,
+        "cached parallel sweeps + regression gate",
+    ),
+    "sched": (_run_sched, "multi-tenant scheduling interference demo"),
+    "nhood": (_run_nhood, "node-aware neighborhood collective demo"),
+}
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
-    if argv and argv[0] == "trace":
-        return _run_trace(argv[1:])
-    if argv and argv[0] == "campaign":
-        return _run_campaign_cli(argv[1:])
-    if argv and argv[0] == "sched":
-        return _run_sched(argv[1:])
+    if argv and argv[0] in SUBCOMMANDS:
+        runner, _help = SUBCOMMANDS[argv[0]]
+        return runner(argv[1:])
     args = _parser().parse_args(argv)
 
     if args.list:
@@ -436,9 +510,9 @@ def main(argv: list[str] | None = None) -> int:
         print("tables:  1 2")
         print("extra:   --thresholds (Sec. 3.5 crossovers)")
         print("         --validate   (check every paper claim)")
-        print("subcommands: trace (Perfetto export), campaign (cached")
-        print("             parallel sweeps + regression gate),")
-        print("             sched (multi-tenant interference demo)")
+        print("subcommands:")
+        for name, (_runner, help_line) in SUBCOMMANDS.items():
+            print(f"  {name:<10} {help_line}")
         return 0
 
     t0 = time.time()

@@ -235,11 +235,61 @@ def _run_sched(config: dict, trace_dir: Optional[str]) -> dict:
     }
 
 
+def _run_nhood(config: dict, trace_dir: Optional[str]) -> dict:
+    from repro.hw.presets import cluster_of
+    from repro.mpi.cluster import run_cluster
+    from repro.nhood import build_pattern, neighbor_alltoallv
+
+    nnodes = config["nnodes"]
+    ppn = config["procs_per_node"]
+    p = nnodes * ppn
+    # The campaign "size" axis is the per-edge halo byte count here.
+    kwargs = {}
+    if config["pattern"] == "irregular":
+        kwargs = {"seed": config["seed"], "degree": min(12, p - 1)}
+    cg = build_pattern(config["pattern"], p, config["size"], **kwargs)
+
+    def main(ctx):
+        g = cg.graph_of(ctx.rank)
+        send = ctx.alloc(max(g.send_bytes, 1), name="nh.s")
+        recv = ctx.alloc(max(g.recv_bytes, 1), name="nh.r")
+        for _ in range(config["reps"]):
+            yield neighbor_alltoallv(
+                ctx.comm, cg, send, recv, strategy=config["strategy"]
+            )
+        return ctx.now
+
+    result = run_cluster(
+        cluster_of(_topo(config["machine"]), nnodes),
+        p,
+        main,
+        procs_per_node=ppn,
+        mode=config["backend"],
+        noise=_noise(config),
+        faults=_faults(config),
+        obs=_obs(config, trace_dir),
+        max_events=config["max_events"],
+        max_sim_time=config["max_sim_time"],
+    )
+    m = result.obs.metrics
+    return {
+        "primary": "seconds",
+        "seconds": result.elapsed,
+        "internode_msgs": int(m.counter("nhood.internode_msgs").value),
+        "internode_bytes": int(m.counter("nhood.internode_bytes").value),
+        "internode_msgs_saved": int(
+            m.counter("nhood.internode_msgs_saved").value
+        ),
+        "elapsed": result.elapsed,
+    }
+
+
 _WORKLOAD_FNS: dict[str, Callable[[dict, Optional[str]], dict]] = {
     "pingpong": _run_pingpong,
     "allreduce": _run_allreduce,
     "crossover": _run_crossover,
     "sched": _run_sched,
+    "nhood": _run_nhood,
 }
 
 

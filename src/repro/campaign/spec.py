@@ -37,7 +37,7 @@ __all__ = [
 ]
 
 #: Workloads the executor knows how to run (see repro.campaign.executor).
-WORKLOADS = ("pingpong", "allreduce", "crossover", "sched")
+WORKLOADS = ("pingpong", "allreduce", "crossover", "sched", "nhood")
 
 #: Machine presets a trial config may name (see repro.hw.presets).
 MACHINES = ("xeon_e5345", "xeon_x5460", "nehalem8")
@@ -85,6 +85,11 @@ def group_label(config: dict) -> str:
         parts.append(config["sched_policy"])
     if "job_mix" in config:
         parts.append(config["job_mix"])
+    # Likewise the neighborhood axes only exist on "nhood" trials.
+    if "pattern" in config:
+        parts.append(config["pattern"])
+    if "strategy" in config:
+        parts.append(config["strategy"])
     return "/".join(parts)
 
 
@@ -158,6 +163,12 @@ class CampaignSpec:
     sched_policies: tuple = ("fifo",)
     #: Job-mix axis of the "sched" workload (see repro.sched.job).
     job_mixes: tuple = ("pair",)
+    #: Graph-pattern axis of the "nhood" workload (see repro.nhood) —
+    #: like the scheduler axes, the keys never enter other workloads'
+    #: configs, so legacy trial hashes are untouched.
+    patterns: tuple = ("irregular",)
+    #: Strategy axis of the "nhood" workload.
+    strategies: tuple = ("direct", "node-aware")
     #: When set, each executed trial writes a Perfetto trace to
     #: ``<trace_dir>/<hash>.trace.json`` (not part of the trial hash).
     trace_dir: Optional[str] = None
@@ -216,6 +227,25 @@ class CampaignSpec:
                     raise BenchmarkError(
                         f"unknown job mix {m!r}; pick from {JOB_MIXES}"
                     )
+        if self.workload == "nhood":
+            from repro.nhood.patterns import PATTERNS
+            from repro.nhood.strategy import STRATEGIES
+
+            if not self.patterns or not self.strategies:
+                raise BenchmarkError(
+                    "nhood campaigns need non-empty patterns and "
+                    "strategies axes"
+                )
+            for pat in self.patterns:
+                if pat not in PATTERNS:
+                    raise BenchmarkError(
+                        f"unknown pattern {pat!r}; pick from {PATTERNS}"
+                    )
+            for s in self.strategies:
+                if s not in STRATEGIES:
+                    raise BenchmarkError(
+                        f"unknown strategy {s!r}; pick from {STRATEGIES}"
+                    )
 
     def trials(self) -> list[Trial]:
         """Expand the cross-product into deterministic trial order."""
@@ -227,11 +257,17 @@ class CampaignSpec:
             sched_axes = list(itertools.product(self.sched_policies, self.job_mixes))
         else:
             sched_axes = [(None, None)]
-        for machine, backend, size, nn, pair, drop, tuning, (pol, mix), seed in (
-            itertools.product(
-                self.machines, self.backends, self.sizes, self.nnodes,
-                self.pairs, self.drops, self.tunings, sched_axes, self.seeds,
-            )
+        # Same scheme for the neighborhood axes.
+        if self.workload == "nhood":
+            nhood_axes = list(itertools.product(self.patterns, self.strategies))
+        else:
+            nhood_axes = [(None, None)]
+        for machine, backend, size, nn, pair, drop, tuning, (pol, mix), (
+            pattern, strategy
+        ), seed in itertools.product(
+            self.machines, self.backends, self.sizes, self.nnodes,
+            self.pairs, self.drops, self.tunings, sched_axes, nhood_axes,
+            self.seeds,
         ):
             config = {
                 "workload": self.workload,
@@ -252,6 +288,9 @@ class CampaignSpec:
             if pol is not None:
                 config["sched_policy"] = pol
                 config["job_mix"] = mix
+            if pattern is not None:
+                config["pattern"] = pattern
+                config["strategy"] = strategy
             out.append(Trial(config=config))
         return out
 

@@ -578,6 +578,59 @@ class Communicator:
 
         return impl()
 
+    # --------------------------------------------- neighborhood topology
+    def Dist_graph_create_adjacent(self, sources, src_counts, dests, dst_counts):
+        """MPI_Dist_graph_create_adjacent (generator): returns a new
+        communicator (same group, fresh context id) carrying this
+        rank's sparse adjacency, with every member's adjacency visible
+        through the world registry — the simulation's stand-in for the
+        setup allgather.  Counts are bytes.  Costs two barriers
+        (contribute, then agree everyone has)."""
+        from repro.nhood.graph import CommGraph, dist_graph_adjacent
+
+        def impl():
+            g = dist_graph_adjacent(sources, src_counts, dests, dst_counts)
+            g.validate_for(self.size)
+            yield self.Barrier()
+            seq = self._split_seq
+            self._split_seq += 1
+            cid = self.world.context_id(("dist-graph", self.cid, seq))
+            cg = self.world.nhood_graphs.setdefault(
+                cid, CommGraph(size=self.size, graphs=[None] * self.size)
+            )
+            cg.graphs[self.rank] = g
+            yield self.Barrier()
+            new = Communicator(self.world, self.rank, group=self.group, cid=cid)
+            new._comm_graph = cg
+            return new
+
+        return impl()
+
+    @property
+    def graph(self):
+        """The :class:`~repro.nhood.graph.CommGraph` attached by
+        :meth:`Dist_graph_create_adjacent`, or None."""
+        return getattr(self, "_comm_graph", None)
+
+    def Neighbor_alltoallv(
+        self, sendbuf, recvbuf, strategy="direct", graph=None, node_of=None
+    ):
+        """Sparse neighborhood exchange over the attached (or passed)
+        graph — see :func:`repro.nhood.strategy.neighbor_alltoallv`.
+        Generator."""
+        from repro.nhood.graph import NhoodError
+        from repro.nhood.strategy import neighbor_alltoallv
+
+        cg = graph if graph is not None else self.graph
+        if cg is None:
+            raise NhoodError(
+                "no neighborhood graph: create one with "
+                "Dist_graph_create_adjacent or pass graph="
+            )
+        return neighbor_alltoallv(
+            self, cg, sendbuf, recvbuf, strategy=strategy, node_of=node_of
+        )
+
     # -------------------------------------------------------- collectives
     def _coll(self, name: str, gen):
         """Wrap a collective's generator in a ``coll`` phase span.

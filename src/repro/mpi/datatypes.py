@@ -88,13 +88,18 @@ class Vector(Datatype):
 
 
 class Indexed(Datatype):
-    """Explicit (displacement, length) pairs, in bytes."""
+    """Explicit (displacement, length) pairs, in bytes.
+
+    Zero-length blocks are legal (an index list built from a sparse
+    graph may have empty entries, as in MPI); they contribute nothing
+    to ``size`` and are skipped when expanding the iovec.
+    """
 
     def __init__(self, blocks: Sequence[tuple[int, int]]) -> None:
         if not blocks:
             raise DatatypeError("indexed type needs at least one block")
         for disp, length in blocks:
-            if disp < 0 or length <= 0:
+            if disp < 0 or length < 0:
                 raise DatatypeError(f"bad indexed block ({disp}, {length})")
         self.blocks = [(int(d), int(n)) for d, n in blocks]
         self.size = sum(n for _, n in self.blocks)
@@ -105,7 +110,8 @@ class Indexed(Datatype):
         for rep in range(count):
             base = offset + rep * self.extent
             for disp, length in self.blocks:
-                views.append(buf.view(base + disp, length))
+                if length > 0:
+                    views.append(buf.view(base + disp, length))
         return _coalesce(views)
 
 

@@ -82,6 +82,10 @@ class MpiWorld:
         self._txn_counter = itertools.count(1)
         self._cid_counter = itertools.count(1)
         self._cid_registry: dict = {}
+        #: Per-cid neighborhood graphs (repro.nhood): ranks contribute
+        #: their adjacency during Dist_graph_create_adjacent, modelling
+        #: the setup allgather a real graph communicator pays once.
+        self.nhood_graphs: dict = {}
         #: Collective concurrency hint (Secs. 4.4/6): how many large
         #: transfers the upper layer expects in flight simultaneously.
         self.lmt_hint = 1

@@ -1,0 +1,306 @@
+"""The ``repro-bench nhood`` benchmark: neighborhood aggregation demo.
+
+Three experiments, emitted together as ``BENCH_nhood.json``:
+
+1. **Sweep** — ``pattern x strategy x LMT mode x nnodes`` over the
+   seeded pattern generators.  The irregular graphs sit deliberately in
+   the *message-bound* regime (small halos, high degree) where MASHM /
+   NAPComm-style aggregation pays: one wire message per node pair
+   instead of one per edge.  The stencil graphs sit in the
+   *bandwidth-bound* regime (fat halos, degree 4) where the extra
+   staging copies and leader concentration make aggregation a loss —
+   the bench self-checks **both** gap directions rather than
+   cherry-picking the win.
+
+2. **Interference** — the scheduler's ``nhood`` job mix (a stream
+   victim beside a 4-rank node-aware exchange on the shared-L2
+   ``nehalem8`` preset), once with the aggregation leader staging
+   through shm copy-rings and once through KNEM+I/OAT.  The shm leader
+   must show up in the InterferenceLedger; the DMA leader must not.
+
+3. **Self-check** — the gap directions above, verified in-process so a
+   regressed document can never be committed silently.
+
+Everything is deterministic: fixed seeds, no noise model — the emitted
+document is byte-reproducible and sits in CI as a regression anchor.
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import topology_block
+from repro.campaign.spec import trial_hash
+from repro.hw.presets import cluster_of, nehalem8, xeon_e5345
+from repro.mpi.cluster import run_cluster
+from repro.nhood.patterns import build_pattern
+from repro.nhood.strategy import STRATEGIES, neighbor_alltoallv
+from repro.units import MiB
+
+__all__ = ["run_nhood_bench", "format_nhood_doc", "SWEEP_CASES"]
+
+#: Node machine of every sweep trial (4 ranks per node).
+SWEEP_MACHINE = "xeon_e5345"
+PROCS_PER_NODE = 4
+REPS = 3
+
+#: The pattern regimes of the sweep.  ``irregular`` is pinned to the
+#: message-bound corner (128 B halos, degree >= 12) where node-aware
+#: aggregation must win; ``stencil2d`` to the bandwidth-bound corner
+#: (4 KiB halos, degree 4) where direct must win.
+SWEEP_CASES = [
+    {"pattern": "irregular", "nnodes": 4, "halo_bytes": 128, "degree": 12},
+    {"pattern": "irregular", "nnodes": 8, "halo_bytes": 128, "degree": 16},
+    {"pattern": "stencil2d", "nnodes": 4, "halo_bytes": 4096},
+    {"pattern": "stencil2d", "nnodes": 8, "halo_bytes": 4096},
+]
+
+#: LMT modes of the sweep (the intranode staging path of the leaders).
+SWEEP_MODES = ("default", "knem", "knem-ioat-async")
+
+#: Interference experiment scale: the stream victim's working set is
+#: ``2 * size`` = 8 MiB, filling nehalem8's shared L2.
+INTERFERENCE_SIZE = 4 * MiB
+SHM_MODE = "default"
+DMA_MODE = "knem-ioat-async"
+
+
+def _sweep_config(case: dict, strategy: str, mode: str) -> dict:
+    """Canonical (campaign-style) trial config — its hash is the
+    trial's identity in the document and the determinism tests."""
+    config = {
+        "workload": "nhood",
+        "machine": SWEEP_MACHINE,
+        "backend": mode,
+        "pattern": case["pattern"],
+        "strategy": strategy,
+        "nnodes": int(case["nnodes"]),
+        "procs_per_node": PROCS_PER_NODE,
+        "halo_bytes": int(case["halo_bytes"]),
+        "seed": 0,
+        "reps": REPS,
+    }
+    if "degree" in case:
+        config["degree"] = int(case["degree"])
+    return config
+
+
+def _run_sweep_trial(config: dict, max_events: int) -> dict:
+    p = config["nnodes"] * config["procs_per_node"]
+    kwargs = {"seed": config["seed"]}
+    if "degree" in config:
+        kwargs["degree"] = config["degree"]
+    cg = build_pattern(config["pattern"], p, config["halo_bytes"], **kwargs)
+
+    def main(ctx):
+        g = cg.graph_of(ctx.rank)
+        send = ctx.alloc(max(g.send_bytes, 1), name="nh.s")
+        recv = ctx.alloc(max(g.recv_bytes, 1), name="nh.r")
+        for _ in range(config["reps"]):
+            yield neighbor_alltoallv(
+                ctx.comm, cg, send, recv, strategy=config["strategy"]
+            )
+        return ctx.now
+
+    result = run_cluster(
+        cluster_of(xeon_e5345(), config["nnodes"]),
+        p,
+        main,
+        procs_per_node=config["procs_per_node"],
+        mode=config["backend"],
+        max_events=max_events,
+    )
+    m = result.obs.metrics
+    counters = (
+        "internode_msgs", "internode_bytes", "intranode_msgs",
+        "intranode_bytes", "internode_msgs_saved", "pack_bytes",
+    )
+    return {
+        "hash": trial_hash(config),
+        "config": config,
+        "status": "ok",
+        "metrics": {
+            "elapsed_seconds": result.elapsed,
+            "leader_footprint_bytes": int(
+                m.gauge("nhood.leader_footprint_bytes").value
+            ),
+            **{c: int(m.counter(f"nhood.{c}").value) for c in counters},
+        },
+    }
+
+
+def _interference_case(mode: str, max_events: int, size: int) -> dict:
+    from repro.sched import Scheduler, mix_jobs
+
+    sched = Scheduler(nehalem8(), policy="fifo", max_events=max_events)
+    result = sched.run(mix_jobs("nhood", size=size, mode=mode))
+    victim = result.job("victim")
+    aggressor = result.job("aggressor")
+    return {
+        "mode": mode,
+        "victim_slowdown": victim.slowdown,
+        "victim_l2_lines_evicted_by_others": victim.interference[
+            "l2_lines_evicted_by_others"
+        ],
+        "aggressor_l2_lines_evicted_from_others": aggressor.interference[
+            "l2_lines_evicted_from_others"
+        ],
+        "cross_job_l2_evictions": result.cross_job_evictions,
+        "makespan_seconds": result.makespan,
+    }
+
+
+def _pairs(trials: list) -> list:
+    """(direct, node-aware) trial pairs of each (case, mode) group."""
+    by_key: dict = {}
+    for t in trials:
+        cfg = t["config"]
+        key = (cfg["pattern"], cfg["nnodes"], cfg["backend"])
+        by_key.setdefault(key, {})[cfg["strategy"]] = t
+    return [
+        (key, group["direct"], group["node-aware"])
+        for key, group in sorted(by_key.items())
+        if set(group) == set(STRATEGIES)
+    ]
+
+
+def run_nhood_bench(max_events: int = 5_000_000,
+                    size: int = INTERFERENCE_SIZE,
+                    cases=None, modes=None) -> dict:
+    """Run all three experiments; returns the JSON-stable document.
+
+    ``cases``/``modes`` shrink the sweep (tests, smoke runs); the
+    committed document always uses the full defaults.
+    """
+    cases = SWEEP_CASES if cases is None else cases
+    modes = SWEEP_MODES if modes is None else modes
+    trials = [
+        _run_sweep_trial(_sweep_config(case, strategy, mode), max_events)
+        for case in cases
+        for mode in modes
+        for strategy in STRATEGIES
+    ]
+
+    shm = _interference_case(SHM_MODE, max_events, size)
+    dma = _interference_case(DMA_MODE, max_events, size)
+
+    # --- the gap directions the document must prove -----------------
+    msg_gaps, latency = [], []
+    for (pattern, nnodes, mode), direct, na in _pairs(trials):
+        msg_gaps.append({
+            "pattern": pattern,
+            "nnodes": nnodes,
+            "mode": mode,
+            "direct_internode_msgs": direct["metrics"]["internode_msgs"],
+            "node_aware_internode_msgs": na["metrics"]["internode_msgs"],
+        })
+        latency.append({
+            "pattern": pattern,
+            "nnodes": nnodes,
+            "mode": mode,
+            "direct_seconds": direct["metrics"]["elapsed_seconds"],
+            "node_aware_seconds": na["metrics"]["elapsed_seconds"],
+            "speedup": (
+                direct["metrics"]["elapsed_seconds"]
+                / na["metrics"]["elapsed_seconds"]
+            ),
+        })
+    self_check = {
+        # Node-aware must strictly cut the wire message count on every
+        # internode graph, regardless of regime.
+        "msg_gap_ok": all(
+            g["node_aware_internode_msgs"] < g["direct_internode_msgs"]
+            for g in msg_gaps
+        ),
+        # ... and win end-to-end where the graph is message-bound.
+        "latency_ok": all(
+            c["speedup"] > 1.0 for c in latency if c["pattern"] == "irregular"
+        ),
+        # ... while losing where it is bandwidth-bound (the honest
+        # other direction: aggregation is not a free lunch).
+        "bandwidth_regime_ok": all(
+            c["speedup"] < 1.0 for c in latency if c["pattern"] == "stencil2d"
+        ),
+        # The shm-staging leader pollutes the neighbour's L2; the
+        # KNEM+I/OAT leader leaves it untouched.
+        "interference_ok": (
+            shm["victim_l2_lines_evicted_by_others"] > 0
+            and dma["victim_l2_lines_evicted_by_others"] == 0
+            and shm["victim_slowdown"] > dma["victim_slowdown"]
+        ),
+    }
+    self_check["ok"] = all(self_check.values())
+
+    return {
+        "bench": "nhood",
+        "machine": SWEEP_MACHINE,
+        "topology": topology_block(xeon_e5345()),
+        "sweep": {
+            "modes": list(modes),
+            "strategies": list(STRATEGIES),
+            "cases": list(cases),
+            "trials": trials,
+        },
+        "message_gaps": msg_gaps,
+        "latency": latency,
+        "interference": {
+            "size": size,
+            "shm": shm,
+            "dma": dma,
+            "eviction_gap": (
+                shm["victim_l2_lines_evicted_by_others"]
+                - dma["victim_l2_lines_evicted_by_others"]
+            ),
+            "slowdown_gap": shm["victim_slowdown"] - dma["victim_slowdown"],
+        },
+        "self_check": self_check,
+    }
+
+
+def format_nhood_doc(doc: dict) -> str:
+    """Human-readable rendering of a nhood bench document."""
+    from repro.bench.reporting import format_table
+
+    rows = []
+    for gap, lat in zip(doc["message_gaps"], doc["latency"]):
+        rows.append([
+            gap["pattern"],
+            gap["nnodes"],
+            gap["mode"],
+            gap["direct_internode_msgs"],
+            gap["node_aware_internode_msgs"],
+            round(lat["direct_seconds"] * 1e6, 1),
+            round(lat["node_aware_seconds"] * 1e6, 1),
+            round(lat["speedup"], 2),
+        ])
+    inter = doc["interference"]
+    check = doc["self_check"]
+    lines = [
+        format_table(
+            ["pattern", "nodes", "mode", "direct msgs", "na msgs",
+             "direct (us)", "na (us)", "speedup"],
+            rows,
+            title=f"neighbor_alltoallv sweep on {doc['machine']} clusters "
+            f"({REPS} exchanges per trial)",
+        ),
+        "",
+        format_table(
+            ["leader staging", "victim slowdown", "victim lines evicted",
+             "cross-job evictions"],
+            [
+                [
+                    case["mode"],
+                    round(case["victim_slowdown"], 3),
+                    case["victim_l2_lines_evicted_by_others"],
+                    case["cross_job_l2_evictions"],
+                ]
+                for case in (inter["shm"], inter["dma"])
+            ],
+            title="aggregation-leader cache interference "
+            f"(nehalem8, {inter['size']} B exchange volume)",
+        ),
+        "",
+        "self-check: " + "  ".join(
+            f"{name}={'PASS' if ok else 'FAIL'}"
+            for name, ok in check.items() if name != "ok"
+        ),
+    ]
+    return "\n".join(lines)

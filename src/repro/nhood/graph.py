@@ -1,0 +1,247 @@
+"""Graph topologies for sparse neighborhood collectives.
+
+A :class:`DistGraph` is one rank's adjacency in the
+``MPI_Dist_graph_create_adjacent`` sense: which comm-local ranks it
+receives from (``sources``) and sends to (``dests``), with per-neighbor
+byte counts standing in for the count/datatype pairs of the real API.
+The neighbor-order convention matches MPI: a rank's send buffer is
+partitioned by ``dests`` order, its receive buffer by ``sources``
+order.
+
+A :class:`CommGraph` holds every member's :class:`DistGraph` for one
+communicator — the SPMD view an application has implicitly (its mesh
+decomposition) and that :meth:`repro.mpi.communicator.Communicator.
+Dist_graph_create_adjacent` reconstructs explicitly through the
+world-level registry after the creation barrier.  The node-aware
+aggregation strategy (see :mod:`repro.nhood.strategy`) needs this full
+view to lay out the per-node-pair aggregate buffers deterministically
+on both sides without exchanging headers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.errors import MpiError
+
+__all__ = ["DistGraph", "CommGraph", "dist_graph_adjacent"]
+
+
+class NhoodError(MpiError):
+    """A malformed neighborhood graph or exchange argument."""
+
+
+def _check_adjacency(
+    what: str, ranks: Sequence[int], counts: Sequence[int], size: Optional[int]
+) -> None:
+    if len(ranks) != len(counts):
+        raise NhoodError(
+            f"{what}: {len(ranks)} neighbors but {len(counts)} counts"
+        )
+    seen = set()
+    for r, c in zip(ranks, counts):
+        if size is not None and not 0 <= r < size:
+            raise NhoodError(f"{what}: neighbor {r} outside [0, {size})")
+        if r in seen:
+            raise NhoodError(f"{what}: duplicate neighbor {r}")
+        seen.add(r)
+        if c < 0:
+            raise NhoodError(f"{what}: negative count {c} for neighbor {r}")
+
+
+@dataclass(frozen=True)
+class DistGraph:
+    """One rank's sparse adjacency (counts in bytes).
+
+    ``sources``/``dests`` are comm-local ranks; self-edges are allowed
+    (a rank may appear in its own lists, as in MPI).  Zero counts are
+    legal and simply contribute no traffic.
+    """
+
+    sources: tuple
+    src_counts: tuple
+    dests: tuple
+    dst_counts: tuple
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "sources", tuple(int(s) for s in self.sources))
+        object.__setattr__(
+            self, "src_counts", tuple(int(c) for c in self.src_counts)
+        )
+        object.__setattr__(self, "dests", tuple(int(d) for d in self.dests))
+        object.__setattr__(
+            self, "dst_counts", tuple(int(c) for c in self.dst_counts)
+        )
+        _check_adjacency("sources", self.sources, self.src_counts, None)
+        _check_adjacency("dests", self.dests, self.dst_counts, None)
+
+    # ------------------------------------------------------------ sugar
+    @property
+    def indegree(self) -> int:
+        return len(self.sources)
+
+    @property
+    def outdegree(self) -> int:
+        return len(self.dests)
+
+    @property
+    def send_bytes(self) -> int:
+        return sum(self.dst_counts)
+
+    @property
+    def recv_bytes(self) -> int:
+        return sum(self.src_counts)
+
+    def dst_offsets(self) -> list[int]:
+        """Byte offset of each dest's block in this rank's send buffer."""
+        out, off = [], 0
+        for c in self.dst_counts:
+            out.append(off)
+            off += c
+        return out
+
+    def src_offsets(self) -> list[int]:
+        """Byte offset of each source's block in the receive buffer."""
+        out, off = [], 0
+        for c in self.src_counts:
+            out.append(off)
+            off += c
+        return out
+
+    def count_to(self, dest: int) -> int:
+        for d, c in zip(self.dests, self.dst_counts):
+            if d == dest:
+                return c
+        return 0
+
+    def validate_for(self, size: int) -> None:
+        _check_adjacency("sources", self.sources, self.src_counts, size)
+        _check_adjacency("dests", self.dests, self.dst_counts, size)
+
+
+def dist_graph_adjacent(
+    sources: Sequence[int],
+    src_counts: Sequence[int],
+    dests: Sequence[int],
+    dst_counts: Sequence[int],
+) -> DistGraph:
+    """``MPI_Dist_graph_create_adjacent``-flavoured constructor."""
+    return DistGraph(
+        sources=tuple(sources),
+        src_counts=tuple(src_counts),
+        dests=tuple(dests),
+        dst_counts=tuple(dst_counts),
+    )
+
+
+@dataclass
+class CommGraph:
+    """The full neighborhood pattern of one communicator.
+
+    ``graphs[l]`` is local rank ``l``'s :class:`DistGraph`.  The
+    pattern generators (:mod:`repro.nhood.patterns`) build these whole;
+    :meth:`repro.mpi.communicator.Communicator.Dist_graph_create_adjacent`
+    assembles one rank-by-rank through the world registry.
+    """
+
+    size: int
+    graphs: list = field(default_factory=list)
+    #: Provenance for documents/tests: generator name and seed (if any).
+    name: str = "adjacent"
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise NhoodError(f"communicator size must be >= 1: {self.size}")
+        if self.graphs and len(self.graphs) != self.size:
+            raise NhoodError(
+                f"{len(self.graphs)} adjacencies for {self.size} ranks"
+            )
+
+    @property
+    def complete(self) -> bool:
+        return len(self.graphs) == self.size and all(
+            g is not None for g in self.graphs
+        )
+
+    def graph_of(self, rank: int) -> DistGraph:
+        if not 0 <= rank < self.size:
+            raise NhoodError(f"rank {rank} outside [0, {self.size})")
+        g = self.graphs[rank]
+        if g is None:
+            raise NhoodError(f"rank {rank} has not contributed its adjacency")
+        return g
+
+    # ------------------------------------------------------ validation
+    def validate(self) -> None:
+        """Check per-rank validity plus global send/recv consistency:
+        rank ``d`` lists ``s`` as a source of ``c`` bytes iff ``s``
+        lists ``d`` as a dest of ``c`` bytes."""
+        if not self.complete:
+            raise NhoodError("graph is incomplete; not every rank contributed")
+        sends: dict[tuple[int, int], int] = {}
+        recvs: dict[tuple[int, int], int] = {}
+        for l, g in enumerate(self.graphs):
+            g.validate_for(self.size)
+            for d, c in zip(g.dests, g.dst_counts):
+                sends[(l, d)] = c
+            for s, c in zip(g.sources, g.src_counts):
+                recvs[(s, l)] = c
+        only_send = {e for e, c in sends.items() if c and e not in recvs}
+        only_recv = {e for e, c in recvs.items() if c and e not in sends}
+        if only_send or only_recv:
+            raise NhoodError(
+                f"inconsistent graph: sends without matching receives "
+                f"{sorted(only_send)[:4]}, receives without matching sends "
+                f"{sorted(only_recv)[:4]}"
+            )
+        for edge in sends:
+            if edge in recvs and sends[edge] != recvs[edge]:
+                raise NhoodError(
+                    f"edge {edge}: sender declares {sends[edge]}B but "
+                    f"receiver expects {recvs[edge]}B"
+                )
+
+    # ------------------------------------------------------ statistics
+    @property
+    def nedges(self) -> int:
+        """Directed edges with a positive byte count."""
+        return sum(
+            1
+            for g in self.graphs
+            for c in g.dst_counts
+            if c > 0
+        )
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(g.send_bytes for g in self.graphs)
+
+    def internode_edges(self, node_of: Callable[[int], int]) -> int:
+        """Directed positive-count edges whose endpoints sit on
+        different nodes — exactly the wire messages the direct strategy
+        sends per exchange."""
+        count = 0
+        for l, g in enumerate(self.graphs):
+            for d, c in zip(g.dests, g.dst_counts):
+                if c > 0 and node_of(l) != node_of(d):
+                    count += 1
+        return count
+
+    def node_pairs(self, node_of: Callable[[int], int]) -> int:
+        """Ordered node pairs carrying traffic — the wire messages the
+        node-aware strategy sends per exchange."""
+        pairs = set()
+        for l, g in enumerate(self.graphs):
+            for d, c in zip(g.dests, g.dst_counts):
+                if c > 0 and node_of(l) != node_of(d):
+                    pairs.add((node_of(l), node_of(d)))
+        return len(pairs)
+
+    def describe(self) -> str:
+        return (
+            f"CommGraph {self.name!r} p={self.size} edges={self.nedges} "
+            f"bytes={self.total_bytes}"
+            + (f" seed={self.seed}" if self.seed is not None else "")
+        )

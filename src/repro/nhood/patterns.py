@@ -1,0 +1,171 @@
+"""Seeded pattern generators for neighborhood exchanges.
+
+Three families, the usual suspects of sparse halo exchange:
+
+``stencil2d``
+    Ranks on a (nearly square) 2D process grid, 4-point halo exchange
+    with the N/S/E/W neighbors.  Non-periodic: boundary ranks have
+    fewer neighbors, so even the "regular" pattern is mildly irregular
+    at the edges, like a real domain decomposition.
+``stencil3d``
+    The 6-point 3D analogue.
+``irregular``
+    A seeded sparse-matrix-like graph: every rank picks a handful of
+    distinct peers with jittered per-edge byte counts — many small
+    messages scattered across the machine, the message-bound regime
+    where per-node aggregation pays (MASHM/NAPComm's home turf).
+
+Every generator is a pure function of its arguments (the ``irregular``
+family threads one ``random.Random(seed)`` through a deterministic
+visit order), so the same call always returns a bit-identical
+:class:`~repro.nhood.graph.CommGraph` — the property the campaign
+cache and the byte-identical ``BENCH_nhood.json`` test lean on.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.nhood.graph import CommGraph, DistGraph, NhoodError
+
+__all__ = [
+    "PATTERNS",
+    "build_pattern",
+    "stencil2d",
+    "stencil3d",
+    "irregular",
+    "grid_dims",
+]
+
+#: Pattern names understood by :func:`build_pattern` (campaign axis).
+PATTERNS = ("stencil2d", "stencil3d", "irregular")
+
+
+def grid_dims(p: int, ndims: int) -> list[int]:
+    """Balanced ``MPI_Dims_create``-style factorization of ``p``."""
+    if p < 1 or ndims < 1:
+        raise NhoodError(f"bad grid request: p={p} ndims={ndims}")
+    dims = [1] * ndims
+    remaining = p
+    # Peel prime factors largest-first onto the currently smallest dim.
+    factors = []
+    f = 2
+    while f * f <= remaining:
+        while remaining % f == 0:
+            factors.append(f)
+            remaining //= f
+        f += 1
+    if remaining > 1:
+        factors.append(remaining)
+    for factor in sorted(factors, reverse=True):
+        dims[dims.index(min(dims))] *= factor
+    return sorted(dims, reverse=True)
+
+
+def _graphs_from_edges(p: int, edges: dict) -> list[DistGraph]:
+    """Assemble per-rank DistGraphs from a ``{(src, dst): bytes}`` map.
+
+    Neighbor lists are sorted by rank — the deterministic order both
+    strategies and both endpoints of every edge agree on.
+    """
+    dests: list[list] = [[] for _ in range(p)]
+    sources: list[list] = [[] for _ in range(p)]
+    for (s, d), c in sorted(edges.items()):
+        dests[s].append((d, c))
+        sources[d].append((s, c))
+    return [
+        DistGraph(
+            sources=tuple(s for s, _ in sources[r]),
+            src_counts=tuple(c for _, c in sources[r]),
+            dests=tuple(d for d, _ in dests[r]),
+            dst_counts=tuple(c for _, c in dests[r]),
+        )
+        for r in range(p)
+    ]
+
+
+def stencil2d(p: int, halo_bytes: int, dims: Optional[tuple] = None) -> CommGraph:
+    """4-point halo exchange on a non-periodic ``px x py`` grid."""
+    if halo_bytes <= 0:
+        raise NhoodError(f"halo_bytes must be positive: {halo_bytes}")
+    px, py = dims if dims is not None else grid_dims(p, 2)
+    if px * py != p:
+        raise NhoodError(f"grid {px}x{py} does not hold {p} ranks")
+    edges = {}
+    for r in range(p):
+        x, y = r % px, r // px
+        for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+            nx, ny = x + dx, y + dy
+            if 0 <= nx < px and 0 <= ny < py:
+                edges[(r, ny * px + nx)] = halo_bytes
+    return CommGraph(size=p, graphs=_graphs_from_edges(p, edges), name="stencil2d")
+
+
+def stencil3d(p: int, halo_bytes: int, dims: Optional[tuple] = None) -> CommGraph:
+    """6-point halo exchange on a non-periodic ``px x py x pz`` grid."""
+    if halo_bytes <= 0:
+        raise NhoodError(f"halo_bytes must be positive: {halo_bytes}")
+    px, py, pz = dims if dims is not None else grid_dims(p, 3)
+    if px * py * pz != p:
+        raise NhoodError(f"grid {px}x{py}x{pz} does not hold {p} ranks")
+    edges = {}
+    for r in range(p):
+        x = r % px
+        y = (r // px) % py
+        z = r // (px * py)
+        for dx, dy, dz in (
+            (1, 0, 0), (-1, 0, 0), (0, 1, 0), (0, -1, 0), (0, 0, 1), (0, 0, -1)
+        ):
+            nx, ny, nz = x + dx, y + dy, z + dz
+            if 0 <= nx < px and 0 <= ny < py and 0 <= nz < pz:
+                edges[(r, (nz * py + ny) * px + nx)] = halo_bytes
+    return CommGraph(size=p, graphs=_graphs_from_edges(p, edges), name="stencil3d")
+
+
+def irregular(
+    p: int,
+    halo_bytes: int,
+    seed: int = 0,
+    degree: int = 4,
+    jitter: float = 0.5,
+) -> CommGraph:
+    """Seeded sparse-matrix-like graph: each rank sends to ``degree``
+    distinct peers (self excluded) with byte counts jittered around
+    ``halo_bytes`` by up to ``+/- jitter``, 64-byte aligned.
+
+    The visit order is rank-major and the single RNG is consumed in
+    that order, so the graph is a pure function of the arguments.
+    """
+    if p < 2:
+        raise NhoodError(f"irregular pattern needs >= 2 ranks, got {p}")
+    if halo_bytes <= 0:
+        raise NhoodError(f"halo_bytes must be positive: {halo_bytes}")
+    if not 0 < degree < p:
+        raise NhoodError(f"degree must be in (0, {p}): {degree}")
+    if not 0 <= jitter < 1:
+        raise NhoodError(f"jitter must be in [0, 1): {jitter}")
+    rng = random.Random(seed)
+    edges = {}
+    for r in range(p):
+        peers = rng.sample([q for q in range(p) if q != r], degree)
+        for d in sorted(peers):
+            scale = 1.0 + rng.uniform(-jitter, jitter)
+            nbytes = max(64, int(halo_bytes * scale) // 64 * 64)
+            edges[(r, d)] = nbytes
+    return CommGraph(
+        size=p, graphs=_graphs_from_edges(p, edges), name="irregular", seed=seed
+    )
+
+
+def build_pattern(
+    name: str, p: int, halo_bytes: int, seed: int = 0, **kwargs
+) -> CommGraph:
+    """Build a named pattern (the ``pattern`` campaign/bench axis)."""
+    if name == "stencil2d":
+        return stencil2d(p, halo_bytes, **kwargs)
+    if name == "stencil3d":
+        return stencil3d(p, halo_bytes, **kwargs)
+    if name == "irregular":
+        return irregular(p, halo_bytes, seed=seed, **kwargs)
+    raise NhoodError(f"unknown pattern {name!r}; pick one of {PATTERNS}")

@@ -1,0 +1,424 @@
+"""Pluggable ``neighbor_alltoallv`` strategies.
+
+``direct``
+    The textbook implementation: one point-to-point message per
+    positive-count graph edge, over whatever transport the pair has
+    (Nemesis queues / LMT intranode, NIC internode).  Wire messages
+    per exchange = internode edges.
+
+``node-aware``
+    The MASHM/NAPComm aggregation scheme.  Each node elects a leader
+    (lowest comm-local member).  For every ordered node pair (A, B)
+    carrying traffic, the members of A hand their B-bound payloads to
+    A's leader through the configured intranode LMT path, the leader
+    packs them into one aggregate buffer and sends a **single**
+    internode message to B's leader, which scatters the pieces to
+    their final owners intranode.  Wire messages per exchange = ordered
+    node pairs with traffic — on message-bound irregular graphs that is
+    far fewer than the edge count, which is the whole point.
+
+    The aggregate layout needs no headers: both sides sort the pair's
+    edges (src, dst) src-major over the shared :class:`~repro.nhood.
+    graph.CommGraph`, so every byte's position is agreed in advance and
+    each member's contribution is one contiguous run in the leader's
+    staging buffer.  Gather/scatter index lists are expressed as
+    :class:`~repro.mpi.datatypes.Indexed` datatypes over the flat
+    send/receive buffers.
+
+    The catch the paper cares about: the leader's staging traffic runs
+    through the intranode LMT.  With the default shm copy-rings every
+    gathered byte streams through the leader's L2 twice; with KNEM or
+    KNEM+I/OAT the kernel (or the DMA engine) moves it with one touch
+    (or none).  The intranode path choice thus decides how much cache
+    the *internode* optimization costs its leader — Table 2 at cluster
+    scale.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.kernel.address_space import Buffer, BufferView
+from repro.mpi.coll.reduce import _scratch
+from repro.mpi.datatypes import Indexed, as_views
+from repro.mpi.request import Request
+from repro.nhood.graph import CommGraph, NhoodError
+
+__all__ = ["STRATEGIES", "neighbor_alltoallv", "NodePlan", "node_plan"]
+
+#: Strategy names understood by :func:`neighbor_alltoallv` (campaign axis).
+STRATEGIES = ("direct", "node-aware")
+
+# Tag bases (own block below the hier/coll ranges; nhood phases never
+# cross-match each other or user traffic).  Each phase sends at most
+# one message per ordered rank pair per exchange, and FIFO matching on
+# (src, tag, cid) keeps back-to-back exchanges safe.
+_T_DIRECT = -11000        # direct edge / node-aware same-node edge
+_T_GATHER = -12000        # member -> own leader (all dest nodes combined)
+_T_WIRE = -13000          # leader(A) -> leader(B) aggregate
+_T_SCATTER = -14000       # leader -> member (all source nodes combined)
+
+
+def _flat(buf, needed: int, what: str) -> BufferView:
+    """Normalize to one contiguous view of at least ``needed`` bytes.
+
+    The strategies slice send/receive buffers by byte offset, so they
+    require contiguous storage (as the pattern benches allocate).
+    """
+    if isinstance(buf, Buffer):
+        buf = buf.view()
+    views = as_views(buf)
+    if len(views) != 1:
+        raise NhoodError(f"{what} must be contiguous for neighbor_alltoallv")
+    if views[0].nbytes < needed:
+        raise NhoodError(
+            f"{what} holds {views[0].nbytes}B but the graph needs {needed}B"
+        )
+    return views[0]
+
+
+def _indexed_views(flat: BufferView, blocks: list) -> list:
+    """Iovec for ``(offset, nbytes)`` blocks of ``flat``, built through
+    the :class:`Indexed` datatype (the gather/scatter index lists)."""
+    base = flat.offset
+    return Indexed([(base + off, n) for off, n in blocks]).iovec(flat.buffer)
+
+
+class NodePlan:
+    """The deterministic aggregation plan every rank derives from the
+    shared graph — nodes, members, leaders, and per-node-pair edge
+    layouts.  Cached on the communicator per (graph, node_of)."""
+
+    def __init__(self, comm, graph: CommGraph, node_of: Callable[[int], int]):
+        graph.validate()
+        if graph.size != comm.size:
+            raise NhoodError(
+                f"graph spans {graph.size} ranks but communicator has {comm.size}"
+            )
+        self.node_of = node_of
+        by_node: dict = {}
+        for l in range(comm.size):
+            by_node.setdefault(node_of(l), []).append(l)
+        #: Node ids, sorted — index into this list is the tag offset.
+        self.nodes = sorted(by_node)
+        self.members = {n: sorted(by_node[n]) for n in self.nodes}
+        self.leader = {n: self.members[n][0] for n in self.nodes}
+        self.node_idx = {n: i for i, n in enumerate(self.nodes)}
+
+        # Per ordered node pair: positive-count cross-node edges sorted
+        # (src, dst) src-major, each with its offset in the aggregate.
+        pair_edges: dict = {}
+        for s in range(graph.size):
+            g = graph.graph_of(s)
+            for d, c in zip(g.dests, g.dst_counts):
+                if c > 0 and node_of(s) != node_of(d):
+                    pair_edges.setdefault((node_of(s), node_of(d)), []).append(
+                        (s, d, c)
+                    )
+        self.pairs: dict = {}
+        self.pair_bytes: dict = {}
+        for key, edges in pair_edges.items():
+            edges.sort()
+            off, laid = 0, []
+            for s, d, c in edges:
+                laid.append((s, d, c, off))
+                off += c
+            self.pairs[key] = laid
+            self.pair_bytes[key] = off
+
+    def out_pairs(self, node) -> list:
+        """Dest nodes this node sends an aggregate to, sorted."""
+        return sorted(b for (a, b) in self.pairs if a == node)
+
+    def in_pairs(self, node) -> list:
+        """Source nodes this node receives an aggregate from, sorted."""
+        return sorted(a for (a, b) in self.pairs if b == node)
+
+    def member_run(self, a, b, s) -> tuple:
+        """(aggregate offset, nbytes) of member ``s``'s contiguous
+        contribution to the (a, b) aggregate."""
+        mine = [(off, c) for s2, _, c, off in self.pairs[(a, b)] if s2 == s]
+        if not mine:
+            return (0, 0)
+        return (mine[0][0], sum(c for _, c in mine))
+
+
+def node_plan(comm, graph: CommGraph, node_of=None) -> NodePlan:
+    """Build (or fetch the cached) :class:`NodePlan`."""
+    world = comm.world
+    if node_of is None:
+        node_of = lambda l: world.node_of(comm.group[l])  # noqa: E731
+    key = (id(graph), tuple(node_of(l) for l in range(comm.size)))
+    cache = getattr(comm, "_nhood_plans", None)
+    if cache is None:
+        cache = comm._nhood_plans = {}
+    if key not in cache:
+        cache[key] = NodePlan(comm, graph, node_of)
+    return cache[key]
+
+
+# --------------------------------------------------------------- metrics
+def _metrics(comm):
+    return comm.world.engine.obs.metrics
+
+
+def _count_send(comm, nbytes: int, internode: bool) -> None:
+    m = _metrics(comm)
+    if internode:
+        m.counter("nhood.internode_msgs").inc(1)
+        m.counter("nhood.internode_bytes").inc(nbytes)
+    else:
+        m.counter("nhood.intranode_msgs").inc(1)
+        m.counter("nhood.intranode_bytes").inc(nbytes)
+
+
+# ------------------------------------------------------------ dispatcher
+def neighbor_alltoallv(
+    comm,
+    graph: CommGraph,
+    sendbuf,
+    recvbuf,
+    strategy: str = "direct",
+    node_of: Optional[Callable[[int], int]] = None,
+):
+    """Sparse neighborhood all-to-all-v over ``graph``.  Generator.
+
+    ``sendbuf`` is partitioned by this rank's ``dests`` order,
+    ``recvbuf`` by its ``sources`` order (byte counts from the graph).
+    ``node_of`` overrides the world's rank->node map — e.g. a virtual
+    node partition so aggregation runs on a single shared machine
+    (:mod:`repro.sched`'s nhood workload).
+    """
+    if strategy == "direct":
+        gen = _direct(comm, graph, sendbuf, recvbuf, node_of)
+    elif strategy == "node-aware":
+        gen = _node_aware(comm, graph, sendbuf, recvbuf, node_of)
+    else:
+        raise NhoodError(f"unknown strategy {strategy!r}; pick one of {STRATEGIES}")
+    return _span(comm, strategy, graph, gen)
+
+
+def _span(comm, strategy: str, graph: CommGraph, gen):
+    """Wrap an exchange in a ``nhood.exchange`` span (kind ``coll`` so
+    the per-edge message trees hang off it, as collectives do)."""
+    obs = comm.world.engine.obs
+    if not obs.enabled:
+        return gen
+
+    def impl():
+        span = obs.begin(
+            "nhood.exchange", kind="coll", track=f"core{comm.core}",
+            parent=comm._active_coll, rank=comm.rank,
+            strategy=strategy, pattern=graph.name, edges=graph.nedges,
+        )
+        prev = comm._active_coll
+        comm._active_coll = span
+        try:
+            result = yield from gen
+        finally:
+            comm._active_coll = prev
+            obs.end(span)
+        return result
+
+    return impl()
+
+
+# ---------------------------------------------------------------- direct
+def _direct(comm, graph: CommGraph, sendbuf, recvbuf, node_of):
+    plan = node_plan(comm, graph, node_of)
+    g = graph.graph_of(comm.rank)
+    send = _flat(sendbuf, g.send_bytes, "sendbuf")
+    recv = _flat(recvbuf, g.recv_bytes, "recvbuf")
+
+    reqs = []
+    for s, c, off in zip(g.sources, g.src_counts, g.src_offsets()):
+        if c > 0:
+            reqs.append(comm.Irecv(recv.sub(off, c), source=s, tag=_T_DIRECT))
+    for d, c, off in zip(g.dests, g.dst_counts, g.dst_offsets()):
+        if c > 0:
+            _count_send(
+                comm, c, plan.node_of(comm.rank) != plan.node_of(d)
+            )
+            reqs.append(comm.Isend(send.sub(off, c), dest=d, tag=_T_DIRECT))
+    yield from Request.waitall(reqs)
+
+
+# ------------------------------------------------------------ node-aware
+def _node_aware(comm, graph: CommGraph, sendbuf, recvbuf, node_of):
+    plan = node_plan(comm, graph, node_of)
+    me = comm.rank
+    my_node = plan.node_of(me)
+    leader = plan.leader[my_node]
+    g = graph.graph_of(me)
+    send = _flat(sendbuf, g.send_bytes, "sendbuf")
+    recv = _flat(recvbuf, g.recv_bytes, "recvbuf")
+    dst_off = dict(zip(g.dests, g.dst_offsets()))
+    src_off = dict(zip(g.sources, g.src_offsets()))
+    metrics = _metrics(comm)
+
+    # ---- plan my message complement -------------------------------
+    out_nodes = plan.out_pairs(my_node)        # aggregates my node emits
+    in_nodes = plan.in_pairs(my_node)          # aggregates my node absorbs
+    is_leader = me == leader
+
+    # A member exchanges ONE combined message with its leader in each
+    # direction (NAPComm's local_S/local_R): the gather message carries
+    # its payloads for every dest node (B-major), the scatter message
+    # its pieces from every source node (A-major).  Both sides read the
+    # block order off the shared plan, so the iovecs line up without
+    # headers, and the leader pays per-member — not per-node-pair —
+    # message overhead.
+    def my_out_blocks(s):
+        return [
+            (dst_off_of(s, d), c)
+            for b in out_nodes
+            for s2, d, c, _ in plan.pairs[(my_node, b)]
+            if s2 == s
+        ]
+
+    def my_in_blocks(d):
+        return [
+            (src_off_of(d, s), c)
+            for a in in_nodes
+            for s, d2, c, _ in plan.pairs[(a, my_node)]
+            if d2 == d
+        ]
+
+    def dst_off_of(s, d):
+        if s == me:
+            return dst_off[d]
+        gg = graph.graph_of(s)
+        return dict(zip(gg.dests, gg.dst_offsets()))[d]
+
+    def src_off_of(d, s):
+        if d == me:
+            return src_off[s]
+        gg = graph.graph_of(d)
+        return dict(zip(gg.sources, gg.src_offsets()))[s]
+
+    reqs = []          # completed at the very end
+    wire_recv = []     # leader only
+    gather_recv = []   # leader only
+
+    # ---- post every receive before anything can block -------------
+    if is_leader:
+        in_bytes = sum(plan.pair_bytes[(a, my_node)] for a in in_nodes)
+        out_bytes = sum(plan.pair_bytes[(my_node, b)] for b in out_nodes)
+        stage_in = _scratch(comm, "_nh_stage_in", max(in_bytes, 1))
+        stage_out = _scratch(comm, "_nh_stage_out", max(out_bytes, 1))
+        in_off, off = {}, 0
+        for a in in_nodes:
+            in_off[a] = off
+            off += plan.pair_bytes[(a, my_node)]
+        out_off, off = {}, 0
+        for b in out_nodes:
+            out_off[b] = off
+            off += plan.pair_bytes[(my_node, b)]
+        # The wire receive scatters each inbound aggregate as it lands:
+        # pieces owned by this leader go straight into its receive
+        # buffer, everyone else's land in staging for the intranode
+        # scatter.  KNEM-style vectorial iovecs make the split free of
+        # an extra CPU unpack (Sec. 5's noncontiguous-transfer point).
+        for a in in_nodes:
+            views = [
+                recv.sub(src_off[s], c) if d == me
+                else stage_in.view(in_off[a] + agg, c)
+                for s, d, c, agg in plan.pairs[(a, my_node)]
+            ]
+            wire_recv.append(
+                comm.Irecv(views, source=plan.leader[a], tag=_T_WIRE)
+            )
+        for s in plan.members[my_node]:
+            if s == me:
+                continue
+            runs = [
+                (out_off[b],) + plan.member_run(my_node, b, s) for b in out_nodes
+            ]
+            views = [
+                stage_out.view(base + run_off, run_len)
+                for base, run_off, run_len in runs
+                if run_len
+            ]
+            if views:
+                metrics.counter("nhood.pack_bytes").inc(
+                    sum(v.nbytes for v in views)
+                )
+                gather_recv.append(comm.Irecv(views, source=s, tag=_T_GATHER))
+        footprint = float(in_bytes + out_bytes)
+        gauge = metrics.gauge("nhood.leader_footprint_bytes")
+        gauge.set(max(gauge.value, footprint))
+    else:
+        blocks = my_in_blocks(me)
+        if blocks:
+            reqs.append(
+                comm.Irecv(_indexed_views(recv, blocks), source=leader,
+                           tag=_T_SCATTER)
+            )
+    # Same-node edges travel directly, leader or not.
+    for s, c in zip(g.sources, g.src_counts):
+        if c > 0 and plan.node_of(s) == my_node:
+            reqs.append(
+                comm.Irecv(recv.sub(src_off[s], c), source=s, tag=_T_DIRECT)
+            )
+
+    # ---- nonblocking sends: local edges + gather contribution -----
+    for d, c in zip(g.dests, g.dst_counts):
+        if c > 0 and plan.node_of(d) == my_node:
+            _count_send(comm, c, False)
+            reqs.append(comm.Isend(send.sub(dst_off[d], c), dest=d, tag=_T_DIRECT))
+    if not is_leader:
+        blocks = my_out_blocks(me)
+        if blocks:
+            nbytes = sum(c for _, c in blocks)
+            _count_send(comm, nbytes, False)
+            reqs.append(
+                comm.Isend(_indexed_views(send, blocks), dest=leader,
+                           tag=_T_GATHER)
+            )
+        yield from Request.waitall(reqs)
+        return
+
+    # ---- leader: complete the aggregates, hit the wire -------------
+    # The wire send is a mixed iovec in aggregate-layout order: this
+    # leader's own payloads ride directly from its send buffer, the
+    # members' runs from staging — no CPU pack of the leader's own
+    # contribution (vectorial buffers again).
+    yield from Request.waitall(gather_recv)
+    for b in out_nodes:
+        views = [
+            send.sub(dst_off[d], c) if s == me
+            else stage_out.view(out_off[b] + agg, c)
+            for s, d, c, agg in plan.pairs[(my_node, b)]
+        ]
+        _count_send(comm, plan.pair_bytes[(my_node, b)], True)
+        reqs.append(comm.Isend(views, dest=plan.leader[b], tag=_T_WIRE))
+
+    # ---- leader: absorb inbound aggregates, scatter to members -----
+    yield from Request.waitall(wire_recv)
+    for d in plan.members[my_node]:
+        if d == me:
+            continue  # my pieces landed directly via the wire iovec
+        pieces = [
+            (in_off[a] + agg, c)
+            for a in in_nodes
+            for s, d2, c, agg in plan.pairs[(a, my_node)]
+            if d2 == d
+        ]
+        if not pieces:
+            continue
+        nbytes = sum(c for _, c in pieces)
+        metrics.counter("nhood.pack_bytes").inc(nbytes)
+        _count_send(comm, nbytes, False)
+        reqs.append(
+            comm.Isend(
+                [stage_in.view(agg, c) for agg, c in pieces],
+                dest=d,
+                tag=_T_SCATTER,
+            )
+        )
+
+    # Credit the aggregation win once per exchange (comm rank 0).
+    if me == 0:
+        saved = graph.internode_edges(plan.node_of) - graph.node_pairs(plan.node_of)
+        metrics.counter("nhood.internode_msgs_saved").inc(saved)
+    yield from Request.waitall(reqs)

@@ -22,6 +22,15 @@ Workloads are deliberately the paper's cast:
 ``is-kernel``
     The NAS IS skeleton: a working-set scan followed by an alltoall
     each rep — compute whose locality communication can destroy.
+``nhood``
+    A node-aware sparse neighborhood exchange (:mod:`repro.nhood`) on
+    a *virtual* two-node partition of the job's ranks: the aggregation
+    leaders gather/scatter their members' payloads through the job's
+    LMT mode on the shared machine, so a ``default`` (shm copy-ring)
+    leader pollutes the shared L2 exactly like a pingpong aggressor —
+    and a KNEM/I/OAT leader does not.  The leader staging buffers are
+    ordinary job allocations, so every line they evict is attributed
+    by the :class:`~repro.sched.interference.InterferenceLedger`.
 
 :class:`JobMix` builds seeded, reproducible mixes of such jobs; the
 named mixes (:data:`JOB_MIXES`) are the ``job_mix`` campaign axis.
@@ -39,10 +48,10 @@ from repro.units import KiB, MiB
 
 __all__ = ["JobSpec", "JobMix", "WORKLOADS", "JOB_MIXES", "workload_main", "mix_jobs"]
 
-WORKLOADS = ("pingpong", "alltoall", "stream", "is-kernel")
+WORKLOADS = ("pingpong", "alltoall", "stream", "is-kernel", "nhood")
 
 #: Named job mixes understood by :func:`mix_jobs` (the campaign axis).
-JOB_MIXES = ("pair", "trio", "random")
+JOB_MIXES = ("pair", "trio", "random", "nhood")
 
 
 @dataclass(frozen=True)
@@ -82,6 +91,11 @@ class JobSpec:
             raise SchedError(f"nprocs must be >= 1, got {self.nprocs}")
         if self.workload in ("pingpong",) and self.nprocs % 2:
             raise SchedError(f"pingpong needs an even nprocs, got {self.nprocs}")
+        if self.workload == "nhood" and self.nprocs < 4:
+            raise SchedError(
+                f"nhood needs nprocs >= 4 (two virtual nodes with members), "
+                f"got {self.nprocs}"
+            )
         if self.size < 1:
             raise SchedError(f"size must be positive, got {self.size}")
         if self.reps < 1:
@@ -149,11 +163,40 @@ def _is_kernel_main(spec: JobSpec):
     return main
 
 
+def _nhood_main(spec: JobSpec):
+    def main(ctx):
+        from repro.nhood import irregular, neighbor_alltoallv
+
+        comm = ctx.comm
+        p = comm.size
+        # spec.size is the job's total exchange volume per rep; spread
+        # it over the graph's directed edges.
+        degree = min(3, p - 1)
+        halo = max(4 * KiB, spec.size // (p * degree))
+        cg = irregular(p, halo, seed=0, degree=degree)
+        g = cg.graph_of(ctx.rank)
+        send = ctx.alloc(max(g.send_bytes, 1), name="nh.s")
+        recv = ctx.alloc(max(g.recv_bytes, 1), name="nh.r")
+        # Virtual two-node partition: aggregation leaders stage their
+        # members' payloads through this job's LMT mode on the shared
+        # machine (the interference experiment's whole point).
+        half = (p + 1) // 2
+        for _ in range(spec.reps):
+            yield neighbor_alltoallv(
+                comm, cg, send, recv, strategy="node-aware",
+                node_of=lambda l: 0 if l < half else 1,
+            )
+        return ctx.now
+
+    return main
+
+
 _WORKLOAD_MAINS: dict[str, Callable[[JobSpec], Callable]] = {
     "pingpong": _pingpong_main,
     "alltoall": _alltoall_main,
     "stream": _stream_main,
     "is-kernel": _is_kernel_main,
+    "nhood": _nhood_main,
 }
 
 
@@ -223,6 +266,10 @@ def mix_jobs(
     ``random``
         A seeded :class:`JobMix` of four jobs whose aggressors use
         ``mode``.
+    ``nhood``
+        One ``stream`` victim plus a four-rank node-aware neighborhood
+        job in ``mode`` — the aggregation-leader variant of ``pair``:
+        the leader's gather/scatter staging is the cache aggressor.
     """
     if mix == "pair":
         return [
@@ -239,6 +286,13 @@ def mix_jobs(
                     size=size, reps=reps, mode=mode),
             JobSpec(name="victim1", workload="is-kernel", nprocs=2,
                     size=size, reps=reps),
+        ]
+    if mix == "nhood":
+        return [
+            JobSpec(name="victim", workload="stream", nprocs=1,
+                    size=2 * size, reps=max(3, reps + 1)),
+            JobSpec(name="aggressor", workload="nhood", nprocs=4,
+                    size=size, reps=reps, mode=mode),
         ]
     if mix == "random":
         base = JobMix(seed=seed, sizes=(size, 2 * size),

@@ -2,13 +2,30 @@
 
 import pytest
 
-from repro.bench.cli import main
+from repro.bench.cli import SUBCOMMANDS, main
 
 
 def test_list(capsys):
     assert main(["--list"]) == 0
     out = capsys.readouterr().out
     assert "figures" in out and "tables" in out
+
+
+def test_list_enumerates_every_subcommand(capsys):
+    """The --list help is generated from the dispatcher's registry, so
+    every runnable subcommand must appear — the help can never go stale
+    the way a hand-maintained list once did."""
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    for name in SUBCOMMANDS:
+        assert name in out, f"--list omits subcommand {name!r}"
+
+
+def test_registry_has_the_known_subcommands():
+    assert {"trace", "campaign", "sched", "nhood"} <= set(SUBCOMMANDS)
+    for name, (runner, help_line) in SUBCOMMANDS.items():
+        assert callable(runner)
+        assert help_line  # one-line description for --list
 
 
 def test_no_args_shows_help(capsys):

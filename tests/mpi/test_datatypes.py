@@ -83,7 +83,16 @@ def test_indexed_rejects_bad():
     with pytest.raises(DatatypeError):
         Indexed([(-1, 4)])
     with pytest.raises(DatatypeError):
-        Indexed([(0, 0)])
+        Indexed([(0, -1)])
+
+
+def test_indexed_zero_length_blocks(buf):
+    # Zero-length blocks are legal and skipped in the iovec.
+    t = Indexed([(0, 8), (100, 0), (200, 4)])
+    assert t.size == 12
+    views = t.iovec(buf)
+    assert [(v.offset, v.nbytes) for v in views] == [(0, 8), (200, 4)]
+    assert Indexed([(16, 0)]).iovec(buf) == []
 
 
 def test_as_views_accepts_buffer_view_list(buf):

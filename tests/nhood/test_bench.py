@@ -1,0 +1,91 @@
+"""Tests for the nhood bench document and its self-checks.
+
+A reduced sweep (one irregular + one stencil case, one LMT mode) keeps
+the in-test cost low; the committed full document is validated
+structurally and by recomputing its trial hashes.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.campaign.spec import trial_hash
+from repro.nhood.bench import (
+    SWEEP_CASES,
+    format_nhood_doc,
+    run_nhood_bench,
+)
+
+REPO = Path(__file__).resolve().parent.parent.parent
+
+SMALL_CASES = [
+    {"pattern": "irregular", "nnodes": 4, "halo_bytes": 128, "degree": 12},
+    {"pattern": "stencil2d", "nnodes": 4, "halo_bytes": 4096},
+]
+
+
+@pytest.fixture(scope="module")
+def doc():
+    return run_nhood_bench(cases=SMALL_CASES, modes=("knem",))
+
+
+def test_self_checks_pass(doc):
+    check = doc["self_check"]
+    assert check["msg_gap_ok"]
+    assert check["latency_ok"]
+    assert check["bandwidth_regime_ok"]
+    assert check["interference_ok"]
+    assert check["ok"]
+
+
+def test_sweep_records_metrics(doc):
+    trials = doc["sweep"]["trials"]
+    assert len(trials) == len(SMALL_CASES) * 1 * 2  # cases x modes x strategies
+    for t in trials:
+        assert t["status"] == "ok"
+        assert t["hash"] == trial_hash(t["config"])
+        m = t["metrics"]
+        assert m["elapsed_seconds"] > 0
+        assert m["internode_msgs"] > 0
+        if t["config"]["strategy"] == "node-aware":
+            assert m["internode_msgs_saved"] > 0
+            assert m["leader_footprint_bytes"] > 0
+            assert m["pack_bytes"] > 0
+
+
+def test_gap_directions(doc):
+    for gap in doc["message_gaps"]:
+        assert gap["node_aware_internode_msgs"] < gap["direct_internode_msgs"]
+    for lat in doc["latency"]:
+        if lat["pattern"] == "irregular":
+            assert lat["speedup"] > 1.0
+        else:
+            assert lat["speedup"] < 1.0
+
+
+def test_interference_gap(doc):
+    inter = doc["interference"]
+    assert inter["shm"]["victim_l2_lines_evicted_by_others"] > 0
+    assert inter["dma"]["victim_l2_lines_evicted_by_others"] == 0
+    assert inter["eviction_gap"] > 0
+    assert inter["slowdown_gap"] > 0
+
+
+def test_format_renders(doc):
+    text = format_nhood_doc(doc)
+    assert "irregular" in text and "stencil2d" in text
+    assert "self-check" in text and "FAIL" not in text
+
+
+def test_committed_document_is_fresh():
+    """The committed BENCH_nhood.json must carry the full sweep, its
+    recorded trial hashes must recompute from their configs, and its
+    self-check must have passed."""
+    path = REPO / "BENCH_nhood.json"
+    committed = json.loads(path.read_text())
+    assert committed["bench"] == "nhood"
+    assert committed["self_check"]["ok"]
+    assert committed["sweep"]["cases"] == SWEEP_CASES
+    for t in committed["sweep"]["trials"]:
+        assert t["hash"] == trial_hash(t["config"])

@@ -1,0 +1,54 @@
+"""Byte-identical determinism of the nhood pipeline.
+
+Same inputs -> the same graphs, the same trial hashes, and the same
+bench document, byte for byte — the property the committed
+``BENCH_nhood.json`` regression anchor depends on.
+"""
+
+import json
+from pathlib import Path
+
+from repro.campaign.spec import trial_hash
+from repro.nhood import build_pattern
+from repro.nhood.bench import SWEEP_MODES, _sweep_config, run_nhood_bench
+from repro.nhood.strategy import STRATEGIES
+
+REPO = Path(__file__).resolve().parent.parent.parent
+
+SMALL_CASES = [
+    {"pattern": "irregular", "nnodes": 4, "halo_bytes": 128, "degree": 12},
+    {"pattern": "stencil2d", "nnodes": 4, "halo_bytes": 4096},
+]
+
+
+def test_pattern_generators_bit_identical():
+    for name, kwargs in [
+        ("irregular", {"seed": 9, "degree": 7}),
+        ("stencil2d", {}),
+        ("stencil3d", {}),
+    ]:
+        a = build_pattern(name, 16, 320, **kwargs)
+        b = build_pattern(name, 16, 320, **kwargs)
+        assert a.graphs == b.graphs
+
+
+def test_bench_document_byte_identical():
+    """Two runs of the same reduced bench produce the same JSON bytes."""
+    one = run_nhood_bench(cases=SMALL_CASES, modes=("knem",))
+    two = run_nhood_bench(cases=SMALL_CASES, modes=("knem",))
+    assert json.dumps(one, sort_keys=True) == json.dumps(two, sort_keys=True)
+
+
+def test_committed_trial_hashes_reproduce():
+    """Rebuilding every committed trial's config from the sweep axes
+    yields exactly the hashes in BENCH_nhood.json — seeds and configs
+    have not drifted since the document was generated."""
+    committed = json.loads((REPO / "BENCH_nhood.json").read_text())
+    expected = [
+        trial_hash(_sweep_config(case, strategy, mode))
+        for case in committed["sweep"]["cases"]
+        for mode in SWEEP_MODES
+        for strategy in STRATEGIES
+    ]
+    recorded = [t["hash"] for t in committed["sweep"]["trials"]]
+    assert recorded == expected

@@ -1,0 +1,95 @@
+"""Tests for the distributed-graph topology layer."""
+
+import pytest
+
+from repro.nhood import DistGraph, NhoodError, dist_graph_adjacent
+from repro.nhood.graph import CommGraph
+
+
+def _ring(p):
+    """Directed ring: rank l sends 100 B to l+1, receives from l-1."""
+    return CommGraph(
+        size=p,
+        graphs=[
+            dist_graph_adjacent(
+                sources=[(l - 1) % p], src_counts=[100],
+                dests=[(l + 1) % p], dst_counts=[100],
+            )
+            for l in range(p)
+        ],
+        name="ring",
+    )
+
+
+def test_dist_graph_basic():
+    g = dist_graph_adjacent([1, 2], [10, 20], [3], [30])
+    assert g.indegree == 2 and g.outdegree == 1
+    assert g.recv_bytes == 30 and g.send_bytes == 30
+    assert list(g.src_offsets()) == [0, 10]
+    assert list(g.dst_offsets()) == [0]
+    assert g.count_to(3) == 30
+
+
+def test_dist_graph_rejects_mismatched_counts():
+    with pytest.raises(NhoodError):
+        dist_graph_adjacent([1], [10, 20], [], [])
+    with pytest.raises(NhoodError):
+        dist_graph_adjacent([], [], [1], [])
+
+
+def test_dist_graph_rejects_duplicates_and_negatives():
+    with pytest.raises(NhoodError):
+        dist_graph_adjacent([1, 1], [10, 20], [], [])
+    with pytest.raises(NhoodError):
+        dist_graph_adjacent([], [], [2], [-1])
+
+
+def test_dist_graph_zero_counts_and_self_edges_legal():
+    g = dist_graph_adjacent([0], [0], [0], [8])
+    assert g.send_bytes == 8 and g.recv_bytes == 0
+
+
+def test_dist_graph_validate_for_range():
+    g = dist_graph_adjacent([5], [10], [], [])
+    with pytest.raises(NhoodError):
+        g.validate_for(4)
+    g.validate_for(6)
+
+
+def test_comm_graph_validate_consistency():
+    cg = _ring(4)
+    cg.validate()
+    assert cg.nedges == 4
+    assert cg.total_bytes == 400
+
+
+def test_comm_graph_catches_asymmetry():
+    graphs = [
+        dist_graph_adjacent([], [], [1], [100]),  # 0 sends to 1...
+        dist_graph_adjacent([], [], [], []),      # ...but 1 expects nothing
+    ]
+    with pytest.raises(NhoodError):
+        CommGraph(size=2, graphs=graphs).validate()
+
+
+def test_comm_graph_incomplete():
+    cg = CommGraph(size=2, graphs=[None, None])
+    assert not cg.complete
+    with pytest.raises(NhoodError):
+        cg.validate()
+
+
+def test_internode_edges_vs_node_pairs():
+    cg = _ring(8)
+    node_of = lambda l: l // 4  # noqa: E731  (two nodes of four)
+    # Ring crosses the node boundary twice: 3->4 and 7->0.
+    assert cg.internode_edges(node_of) == 2
+    assert cg.node_pairs(node_of) == 2  # (0,1) and (1,0)
+    # All on one node: nothing crosses.
+    assert cg.internode_edges(lambda l: 0) == 0
+    assert cg.node_pairs(lambda l: 0) == 0
+
+
+def test_describe_mentions_shape():
+    text = _ring(4).describe()
+    assert "ring" in text and "4" in text

@@ -1,0 +1,80 @@
+"""Tests for the seeded pattern generators."""
+
+import pytest
+
+from repro.nhood import NhoodError, build_pattern, irregular, stencil2d, stencil3d
+from repro.nhood.patterns import PATTERNS, grid_dims
+
+
+def test_grid_dims_balanced():
+    assert grid_dims(16, 2) == [4, 4]
+    assert grid_dims(12, 2) == [4, 3]
+    assert grid_dims(8, 3) == [2, 2, 2]
+    assert grid_dims(7, 2) == [7, 1]
+    with pytest.raises(NhoodError):
+        grid_dims(0, 2)
+
+
+def test_stencil2d_interior_and_boundary_degrees():
+    cg = stencil2d(16, 100)  # 4x4 grid
+    cg.validate()
+    degrees = sorted(g.outdegree for g in cg.graphs)
+    # 4 corners with 2 neighbors, 8 edges with 3, 4 interior with 4.
+    assert degrees == [2] * 4 + [3] * 8 + [4] * 4
+    assert cg.nedges == 48  # directed
+    assert all(c == 100 for g in cg.graphs for c in g.dst_counts)
+
+
+def test_stencil3d_interior_degree():
+    cg = stencil3d(27, 64, dims=(3, 3, 3))
+    cg.validate()
+    center = cg.graph_of(13)  # (1,1,1) of a 3x3x3 grid
+    assert center.outdegree == 6
+
+
+def test_stencil_rejects_bad_dims():
+    with pytest.raises(NhoodError):
+        stencil2d(16, 100, dims=(3, 4))
+    with pytest.raises(NhoodError):
+        stencil2d(16, 0)
+
+
+def test_irregular_shape_and_validity():
+    cg = irregular(16, 256, seed=7, degree=5)
+    cg.validate()
+    assert all(g.outdegree == 5 for g in cg.graphs)
+    # Byte counts are 64-aligned and jittered around the halo size.
+    for g in cg.graphs:
+        for c in g.dst_counts:
+            assert c % 64 == 0 and 64 <= c <= 2 * 256
+
+
+def test_irregular_rejects_bad_args():
+    with pytest.raises(NhoodError):
+        irregular(1, 256)
+    with pytest.raises(NhoodError):
+        irregular(8, 256, degree=8)
+    with pytest.raises(NhoodError):
+        irregular(8, 256, jitter=1.5)
+    with pytest.raises(NhoodError):
+        irregular(8, 0)
+
+
+def test_seeded_determinism_byte_identical():
+    """Same seed -> bit-identical graph; different seed -> different."""
+    a = irregular(24, 512, seed=3, degree=6)
+    b = irregular(24, 512, seed=3, degree=6)
+    assert a.graphs == b.graphs
+    c = irregular(24, 512, seed=4, degree=6)
+    assert a.graphs != c.graphs
+    # Stencils are seedless pure functions.
+    assert stencil2d(16, 100).graphs == stencil2d(16, 100).graphs
+
+
+def test_build_pattern_dispatch():
+    for name in PATTERNS:
+        cg = build_pattern(name, 8, 128)
+        assert cg.name == name
+        cg.validate()
+    with pytest.raises(NhoodError):
+        build_pattern("torus", 8, 128)

@@ -1,0 +1,63 @@
+"""The nhood scheduler workload: aggregation-leader cache interference.
+
+The ``nhood`` job mix pairs a stream victim with a 4-rank node-aware
+neighborhood exchange on a virtual two-node partition.  When the
+leaders stage through shm copy-rings their gather/scatter traffic must
+show up in the InterferenceLedger against the victim; staged through
+KNEM+I/OAT it must not.
+"""
+
+import pytest
+
+from repro.errors import SchedError
+from repro.hw import nehalem8
+from repro.sched import Scheduler, mix_jobs
+from repro.sched.job import JOB_MIXES, WORKLOADS, JobSpec
+from repro.units import MiB
+
+SIZE = 4 * MiB
+
+
+def _nhood_mix(mode):
+    return Scheduler(nehalem8(), policy="fifo").run(
+        mix_jobs("nhood", size=SIZE, mode=mode)
+    )
+
+
+@pytest.fixture(scope="module")
+def shm():
+    return _nhood_mix("default")
+
+
+@pytest.fixture(scope="module")
+def dma():
+    return _nhood_mix("knem-ioat-async")
+
+
+def test_nhood_is_a_registered_workload_and_mix():
+    assert "nhood" in WORKLOADS
+    assert "nhood" in JOB_MIXES
+
+
+def test_nhood_needs_two_virtual_nodes():
+    with pytest.raises(SchedError):
+        JobSpec(name="tiny", workload="nhood", nprocs=2)
+
+
+def test_shm_leader_staging_evicts_victim_lines(shm):
+    victim = shm.job("victim")
+    assert victim.interference["l2_lines_evicted_by_others"] > 0
+    aggressor = shm.job("aggressor")
+    assert aggressor.interference["l2_lines_evicted_from_others"] > 0
+
+
+def test_dma_leader_staging_evicts_nothing(dma):
+    assert dma.job("victim").interference["l2_lines_evicted_by_others"] == 0
+    assert dma.cross_job_evictions == 0
+
+
+def test_gap_direction_shm_vs_dma(shm, dma):
+    assert (
+        shm.job("victim").slowdown > dma.job("victim").slowdown
+    )
+    assert shm.cross_job_evictions > 0 == dma.cross_job_evictions

@@ -39,6 +39,7 @@ def test_examples_directory_complete():
         "fault_injection",
         "trace_viewer",
         "multi_job_interference",
+        "stencil_halo",
     } <= names
 
 
@@ -88,6 +89,13 @@ def test_trace_viewer_runs(capsys, tmp_path):
     assert "is.B.8" in out and "spans" in out
     assert "ui.perfetto.dev" in out
     assert (tmp_path / "trace.json").exists()
+
+
+def test_stencil_halo_runs(capsys):
+    out = _run_example("stencil_halo", capsys)
+    assert "internode messages" in out
+    assert "node-aware wins" in out  # the message-bound irregular graph
+    assert "direct wins" in out      # the bandwidth-bound stencil
 
 
 def test_multi_job_interference_runs(capsys):
