@@ -19,6 +19,7 @@ from repro.units import fmt_size
 
 __all__ = [
     "atomic_write_json",
+    "fsync_dir",
     "save_sweep",
     "load_sweep",
     "compare_sweeps",
@@ -28,14 +29,34 @@ __all__ = [
 _FORMAT_VERSION = 1
 
 
+def fsync_dir(dirpath: str | Path) -> None:
+    """Flush a directory entry to disk (best effort).
+
+    ``os.replace`` makes a rename atomic against concurrent *readers*,
+    but the new directory entry itself lives in the page cache until
+    the directory is fsync'd — on power loss the file could vanish (or
+    worse, point at half-flushed blocks).  Some filesystems refuse
+    fsync on directory descriptors; that is a durability limitation,
+    not an error, so ``OSError`` is swallowed.
+    """
+    fd = os.open(dirpath, getattr(os, "O_DIRECTORY", 0) or os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 def atomic_write_json(path: str | Path, payload, indent: Optional[int] = 2) -> None:
     """Write ``payload`` as JSON so readers never see a torn file.
 
     The document lands in ``path.with_suffix(".tmp")`` first, is
-    fsync'd, then renamed over ``path`` — an interrupted writer leaves
-    at worst a stale ``.tmp`` beside an intact previous version.  Used
-    by every result store (sweeps here, trial records in
-    :mod:`repro.campaign.cache`).
+    fsync'd, then renamed over ``path``, then the *directory* is
+    fsync'd so the rename survives power loss — an interrupted writer
+    leaves at worst a stale ``.tmp`` beside an intact previous
+    version.  Used by every result store (sweeps here, trial records
+    in :mod:`repro.campaign.cache`).
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -45,6 +66,7 @@ def atomic_write_json(path: str | Path, payload, indent: Optional[int] = 2) -> N
         fh.flush()
         os.fsync(fh.fileno())
     os.replace(tmp, path)
+    fsync_dir(path.parent)
 
 
 def save_sweep(sweep: Sweep, path: str | Path) -> None:

@@ -12,13 +12,30 @@ scripts:
 * :mod:`~repro.campaign.cache` — content-addressed result store with
   atomic writes (re-running a campaign is 100 % cache hits);
 * :mod:`~repro.campaign.stats` — replicate aggregation and the
-  baseline regression gate.
+  baseline regression gate;
+* :mod:`~repro.campaign.queue` — durable JSONL lease journal whose
+  replay rebuilds exact queue state after any kill point;
+* :mod:`~repro.campaign.supervisor` — heartbeat-leased worker
+  processes with death detection, requeue, retry budgets and
+  quarantine;
+* :mod:`~repro.campaign.chaos` — seeded worker-kill injection plus the
+  self-check that recovery is byte-exact.
 
-CLI: ``repro-bench campaign run|resume|compare|report``.
+CLI: ``repro-bench campaign run|resume|compare|report|chaos``
+(``--supervise`` routes run/resume through the crash-tolerant fleet).
 """
 
 from repro.campaign.cache import ResultCache
+from repro.campaign.chaos import (
+    KILL_POINTS,
+    ChaosPlan,
+    ChaosReport,
+    ChaosState,
+    run_chaos_check,
+)
 from repro.campaign.executor import CampaignRun, run_campaign, run_trial
+from repro.campaign.queue import Lease, LeaseQueue
+from repro.campaign.supervisor import FleetConfig, run_supervised
 from repro.campaign.spec import (
     MACHINES,
     WORKLOADS,
@@ -48,6 +65,15 @@ __all__ = [
     "run_trial",
     "run_campaign",
     "CampaignRun",
+    "run_supervised",
+    "FleetConfig",
+    "LeaseQueue",
+    "Lease",
+    "ChaosPlan",
+    "ChaosState",
+    "ChaosReport",
+    "run_chaos_check",
+    "KILL_POINTS",
     "aggregate",
     "compare_campaigns",
     "CampaignComparison",

@@ -61,6 +61,18 @@ class ResultCache:
     def put(self, key: str, record: dict) -> None:
         atomic_write_json(self.path(key), record)
 
+    def sweep_tmp(self) -> int:
+        """Delete stale ``.tmp`` files (writers killed mid-write).
+
+        Called by the supervised fleet on startup: a ``.tmp`` is always
+        either a finished write that never got renamed or a torn one —
+        in both cases the trial re-runs, so the file is pure litter.
+        """
+        stale = list(self.root.glob("*.tmp"))
+        for path in stale:
+            path.unlink(missing_ok=True)
+        return len(stale)
+
     def keys(self) -> list[str]:
         return sorted(p.stem for p in self.root.glob("*.json"))
 

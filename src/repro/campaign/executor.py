@@ -11,6 +11,11 @@ or serially in-process (``workers <= 1``).  Either way:
 * **failure containment** — :func:`run_trial` converts any exception
   into a ``status: "failed"`` record; one broken trial never aborts
   the campaign;
+* **worker-death containment** — a pool worker that dies outright
+  (SIGKILL, OOM, interpreter abort) breaks the pool, not the
+  campaign: collateral trials re-run in a fresh pool and the trial
+  that actually killed its worker is convicted by an isolation retry
+  and recorded as ``status: "failed"``;
 * **watchdog timeouts** — every simulated run carries the trial's
   ``max_events`` / ``max_sim_time`` budgets, so a livelocked trial
   fails with :class:`repro.errors.LivelockError` instead of hanging
@@ -22,8 +27,9 @@ or serially in-process (``workers <= 1``).  Either way:
 
 from __future__ import annotations
 
-import multiprocessing
-from dataclasses import dataclass
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
 from functools import partial
 from pathlib import Path
 from typing import Callable, Optional, Sequence
@@ -31,6 +37,7 @@ from typing import Callable, Optional, Sequence
 from repro.campaign.cache import ResultCache
 from repro.campaign.spec import CampaignSpec, Trial, trial_hash
 from repro.campaign.stats import aggregate
+from repro.errors import TrialQuarantined
 
 __all__ = ["run_trial", "run_campaign", "CampaignRun", "DOCUMENT_VERSION"]
 
@@ -312,6 +319,13 @@ def run_trial(config: dict, trace_dir: Optional[str] = None) -> dict:
         "error": None,
     }
     try:
+        from repro.campaign.chaos import pool_kill_armed
+
+        if pool_kill_armed(config):  # chaos harness: die before the trial
+            import os
+            import signal
+
+            os.kill(os.getpid(), signal.SIGKILL)
         fn = _WORKLOAD_FNS[config["workload"]]
         metrics = fn(config, trace_dir)
         record["primary"] = metrics.pop("primary")
@@ -329,6 +343,15 @@ class CampaignRun:
     spec: CampaignSpec
     trials: list[Trial]
     records: list[dict]
+    #: Trial hashes poisoned out by the supervised fleet (a trial that
+    #: failed deterministically ``retry_budget`` times); always empty
+    #: for plain (unsupervised) runs.
+    quarantined: list = field(default_factory=list)
+    #: Fleet telemetry snapshot (leases, requeues, worker deaths) from
+    #: a supervised run.  Deliberately NOT part of :meth:`document` —
+    #: the document must be a pure function of the spec, so recovered
+    #: and undisturbed runs compare byte-identical.
+    fleet: Optional[dict] = None
 
     @property
     def executed(self) -> int:
@@ -372,20 +395,73 @@ class CampaignRun:
                 "executed": self.executed,
                 "cache_hits": self.cache_hits,
                 "failures": len(self.failures),
+                "quarantined": len(self.quarantined),
             },
+            "quarantined": list(self.quarantined),
             "aggregates": aggregate(self.records),
             "trials": self.records,
         }
+
+    def raise_for_quarantine(self) -> None:
+        """Raise :class:`repro.errors.TrialQuarantined` if any trial
+        exhausted its retry budget (strict-mode callers)."""
+        if self.quarantined:
+            raise TrialQuarantined(self.quarantined)
 
     def describe(self) -> str:
         total = len(self.records)
         hits = self.cache_hits
         pct = 100.0 * hits / total if total else 0.0
-        return (
+        line = (
             f"campaign {self.spec.name!r}: {total} trials | "
             f"executed {self.executed} | cache hits: {hits}/{total} "
             f"({pct:.1f}%) | failures {len(self.failures)}"
         )
+        if self.quarantined:
+            line += f" | quarantined {len(self.quarantined)}"
+        return line
+
+
+def _death_record(config: dict) -> dict:
+    """The failed record for a trial whose pool worker died outright."""
+    return {
+        "hash": trial_hash(config),
+        "config": config,
+        "seed": config.get("seed"),
+        "status": "failed",
+        "primary": None,
+        "metrics": None,
+        "error": "WorkerDeath: pool worker died executing this trial "
+        "(SIGKILL/OOM/interpreter abort)",
+    }
+
+
+def _pool_run(runner, configs: list[dict], workers: int) -> list[dict]:
+    """``pool.map`` with worker-death containment.
+
+    A dead worker makes *every* unfinished future raise
+    :class:`BrokenProcessPool` without saying which trial killed it, so
+    each suspect is retried alone in a single-worker pool: collateral
+    trials succeed there, and a pool that breaks again convicts its
+    only occupant, which becomes a ``status: "failed"`` record instead
+    of an exception out of :func:`run_campaign`.
+    """
+    results: list[Optional[dict]] = [None] * len(configs)
+    suspects: list[int] = []
+    with ProcessPoolExecutor(max_workers=min(workers, len(configs))) as pool:
+        futures = [pool.submit(runner, c) for c in configs]
+        for i, future in enumerate(futures):
+            try:
+                results[i] = future.result()
+            except BrokenProcessPool:
+                suspects.append(i)
+    for i in suspects:
+        try:
+            with ProcessPoolExecutor(max_workers=1) as solo:
+                results[i] = solo.submit(runner, configs[i]).result()
+        except BrokenProcessPool:
+            results[i] = _death_record(configs[i])
+    return results
 
 
 def run_campaign(
@@ -420,8 +496,7 @@ def run_campaign(
         configs = [t.config for _, t in pending]
         runner = partial(run_trial, trace_dir=trace_dir)
         if workers > 1 and len(configs) > 1:
-            with multiprocessing.Pool(min(workers, len(configs))) as pool:
-                fresh = pool.map(runner, configs)
+            fresh = _pool_run(runner, configs, workers)
         else:
             fresh = [runner(c) for c in configs]
         for (i, trial), record in zip(pending, fresh):

@@ -1,0 +1,478 @@
+"""Crash-tolerant campaign fleet: supervised workers over a lease queue.
+
+:func:`run_supervised` is ``run_campaign`` with a survival story.
+Trials are dispatched through a durable
+:class:`~repro.campaign.queue.LeaseQueue`; worker *processes* execute
+them under heartbeat leases, and the supervisor enforces three
+independent death detectors:
+
+* **exitcode** — the worker process is gone (SIGKILL, OOM, segfault);
+* **missed heartbeats** — the process exists but its heartbeat thread
+  stopped updating the shared timestamp;
+* **lease deadline** — the trial ran past its wall-clock budget (a
+  hung worker that still heartbeats).
+
+Any of the three SIGKILLs the worker (if needed), reconciles its lease
+— completed-from-store if the result landed before death, requeued
+otherwise — and respawns the slot with fresh queues, so one torn pipe
+can never poison the fleet.  Deterministic failures consume the
+per-trial retry budget with exponential backoff and quarantine after
+exactly ``retry_budget`` attempts; kills requeue for free.  The final
+:class:`~repro.campaign.executor.CampaignRun` document is therefore a
+pure function of the spec: byte-identical no matter how many workers
+died along the way (the chaos harness proves it).
+
+Protocol notes: the *worker* appends the durable ``complete`` journal
+event immediately after its store write (the two-phase commit's second
+phase), so the supervisor only reconciles; result records travel back
+over a per-incarnation queue, and a stale report — the worker was
+presumed dead and its lease re-granted — fails with
+:class:`repro.errors.LeaseExpired` and is dropped.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as stdlib_queue
+import signal
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.campaign.cache import ResultCache
+from repro.campaign.chaos import ChaosPlan, ChaosState
+from repro.campaign.executor import CampaignRun, run_trial
+from repro.campaign.queue import Lease, LeaseQueue, append_event
+from repro.campaign.spec import CampaignSpec, Trial, canonical_json, trial_hash
+from repro.errors import CampaignError, LeaseExpired
+
+__all__ = ["run_supervised", "FleetConfig"]
+
+#: Seconds between heartbeat updates inside a worker.
+HEARTBEAT_INTERVAL = 0.05
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Supervision knobs, bundled so callers and the CLI share defaults."""
+
+    workers: int = 2
+    #: Wall-clock budget per leased trial (the watchdog).
+    lease_ttl: float = 60.0
+    #: Max heartbeat age before a live process is presumed wedged.
+    heartbeat_timeout: float = 10.0
+    #: Deterministic failures allowed before quarantine.
+    retry_budget: int = 3
+    #: First retry backoff; doubles per failure.
+    backoff_base: float = 0.05
+    #: Supervisor poll interval.
+    poll: float = 0.02
+    #: Overall wall-clock ceiling (None = unbounded).
+    max_wall: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise CampaignError(f"workers must be >= 1, got {self.workers}")
+        if self.lease_ttl <= 0 or self.heartbeat_timeout <= 0:
+            raise CampaignError("lease_ttl and heartbeat_timeout must be > 0")
+
+
+# ------------------------------------------------------------------ worker
+def _chaos_die(journal: Path, trial: str, attempt: int, point: str) -> None:
+    """Journal the injected kill, then die without cleanup."""
+    append_event(journal, {
+        "ev": "chaos", "hash": trial, "attempt": attempt, "point": point,
+    })
+    if point == "hang":
+        time.sleep(3600.0)
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _torn_bytes(text: str) -> str:
+    """The front half of a serialized record: a torn write."""
+    return text[: max(4, len(text) // 2)]
+
+
+def _worker_main(
+    slot: int,
+    incarnation: int,
+    task_q,
+    done_q,
+    hb,
+    cache_root: str,
+    trace_dir: Optional[str],
+    journal_path: str,
+    plan: Optional[ChaosPlan],
+) -> None:
+    """Worker loop: lease in, run (or serve from store), commit, report."""
+    stop = threading.Event()
+
+    def beat() -> None:
+        while not stop.is_set():
+            hb.value = time.time()
+            stop.wait(HEARTBEAT_INTERVAL)
+
+    threading.Thread(target=beat, daemon=True).start()
+    journal = Path(journal_path)
+    chaos = ChaosState(plan) if plan is not None and plan.armed else None
+    if chaos is not None and chaos.spawn_kill(slot, incarnation):
+        append_event(journal, {
+            "ev": "chaos", "slot": slot, "incarnation": incarnation,
+            "point": "spawn",
+        })
+        os.kill(os.getpid(), signal.SIGKILL)
+    cache = ResultCache(cache_root)
+    while True:
+        task = task_q.get()
+        if task is None:
+            break
+        config, attempt, token = task
+        h = trial_hash(config)
+        point = chaos.kill_point(h, attempt) if chaos is not None else None
+        if point in ("mid-trial", "hang"):
+            _chaos_die(journal, h, attempt, point)
+        hit = cache.get(h)
+        if hit is not None and hit.get("status") == "ok" \
+                and hit.get("config") == config:
+            record = dict(hit)  # an earlier attempt committed before dying
+        else:
+            record = run_trial(config, trace_dir)
+        if record["status"] == "ok":
+            if point == "store-write":
+                # Model a non-atomic store (power loss after the rename's
+                # metadata but before the data blocks): leave a torn
+                # record at the *final* path, then die.  Recovery must
+                # self-heal it and re-run.
+                append_event(journal, {
+                    "ev": "chaos", "hash": h, "attempt": attempt,
+                    "point": point,
+                })
+                cache.path(h).write_text(_torn_bytes(canonical_json(record)))
+                os.kill(os.getpid(), signal.SIGKILL)
+            cache.put(h, record)
+            complete = {
+                "ev": "complete", "hash": h, "worker": f"w{slot}.{incarnation}",
+                "attempt": attempt, "token": token,
+            }
+            if point == "journal-append":
+                # Die halfway through the commit's second phase: half a
+                # line, no newline.  Replay must skip the fragment and
+                # reconcile the trial from the store.
+                append_event(journal, {
+                    "ev": "chaos", "hash": h, "attempt": attempt,
+                    "point": point,
+                })
+                fd = os.open(journal, os.O_WRONLY | os.O_APPEND | os.O_CREAT)
+                os.write(fd, _torn_bytes(canonical_json(complete)).encode())
+                os.fsync(fd)
+                os.kill(os.getpid(), signal.SIGKILL)
+            append_event(journal, complete)
+        done_q.put((record["status"], h, attempt, token, record))
+
+
+# --------------------------------------------------------------- supervisor
+@dataclass
+class _Slot:
+    slot: int
+    incarnation: int = 0
+    proc: Optional[multiprocessing.Process] = None
+    task_q: object = None
+    done_q: object = None
+    hb: object = None
+    lease: Optional[Lease] = None
+    config: Optional[dict] = None
+
+    @property
+    def worker_id(self) -> str:
+        return f"w{self.slot}.{self.incarnation}"
+
+
+class _Fleet:
+    """One supervised drain of a lease queue."""
+
+    #: Respawns per slot before the supervisor gives up (a backstop far
+    #: above what any finite chaos plan can cause).
+    MAX_INCARNATIONS = 64
+
+    def __init__(
+        self,
+        queue: LeaseQueue,
+        configs: dict[str, dict],
+        cache: ResultCache,
+        trace_dir: Optional[str],
+        fleet: FleetConfig,
+        chaos: Optional[ChaosPlan],
+        metrics,
+    ) -> None:
+        self.queue = queue
+        self.configs = configs
+        self.cache = cache
+        self.trace_dir = trace_dir
+        self.cfg = fleet
+        self.chaos = chaos
+        self.metrics = metrics
+        self.records: dict[str, dict] = {}
+        self.ctx = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods()
+            else None
+        )
+        self.slots = [_Slot(slot=i) for i in range(fleet.workers)]
+
+    # ------------------------------------------------------------- workers
+    def _spawn(self, slot: _Slot) -> None:
+        slot.incarnation += 1
+        if slot.incarnation > self.MAX_INCARNATIONS:
+            raise CampaignError(
+                f"worker slot {slot.slot} died {self.MAX_INCARNATIONS} "
+                "times; giving up"
+            )
+        slot.task_q = self.ctx.SimpleQueue()
+        slot.done_q = self.ctx.Queue()
+        slot.hb = self.ctx.Value("d", time.time(), lock=False)
+        slot.lease = None
+        slot.config = None
+        slot.proc = self.ctx.Process(
+            target=_worker_main,
+            args=(
+                slot.slot, slot.incarnation, slot.task_q, slot.done_q,
+                slot.hb, str(self.cache.root), self.trace_dir,
+                str(self.queue.path), self.chaos,
+            ),
+            daemon=True,
+            name=f"campaign-{slot.worker_id}",
+        )
+        slot.proc.start()
+        self.metrics.counter("campaign.worker_spawns").inc()
+
+    def _kill(self, slot: _Slot, why: str) -> None:
+        self.metrics.counter(f"campaign.{why}").inc()
+        if slot.proc.is_alive():
+            slot.proc.kill()
+        slot.proc.join(timeout=5.0)
+
+    def _reconcile_death(self, slot: _Slot, now: float) -> None:
+        """A worker died: count it, settle its lease, respawn the slot."""
+        self.metrics.counter("campaign.worker_deaths").inc()
+        self.queue.heal_tail()
+        self._drain(slot, now)  # reports sent before death still count
+        lease = slot.lease
+        if lease is not None:
+            hit = self.cache.get(lease.trial)
+            if hit is not None and hit.get("status") == "ok" \
+                    and hit.get("config") == self.configs[lease.trial]:
+                # Died between the store write and the journal append
+                # (or the report): the result is durable — keep it.
+                try:
+                    self.queue.note_complete(lease)
+                except LeaseExpired:
+                    pass
+                else:
+                    self.queue.complete_external(lease.trial, "worker-death")
+                self.records[lease.trial] = dict(hit)
+            else:
+                try:
+                    self.queue.requeue(lease, reason="worker-death")
+                    self.metrics.counter("campaign.requeues").inc()
+                except LeaseExpired:
+                    pass
+        self._spawn(slot)
+
+    # ------------------------------------------------------------ messages
+    def _drain(self, slot: _Slot, now: float) -> None:
+        while True:
+            try:
+                status, h, attempt, token, record = slot.done_q.get_nowait()
+            except (stdlib_queue.Empty, OSError, EOFError):
+                return
+            lease = slot.lease
+            if lease is None or lease.token != token:
+                continue  # stale report from a reclaimed lease
+            self.records[h] = record
+            try:
+                if status == "ok":
+                    self.queue.note_complete(lease)
+                else:
+                    outcome = self.queue.fail(lease, record["error"], now)
+                    self.metrics.counter("campaign.trial_failures").inc()
+                    if outcome == "quarantined":
+                        self.metrics.counter("campaign.quarantines").inc()
+            except LeaseExpired:
+                pass
+            slot.lease = None
+            slot.config = None
+
+    # ----------------------------------------------------------- main loop
+    def drain_queue(self) -> None:
+        t0 = time.time()
+        for slot in self.slots:
+            self._spawn(slot)
+        try:
+            while not self.queue.all_settled:
+                now = time.time()
+                if self.cfg.max_wall is not None and now - t0 > self.cfg.max_wall:
+                    raise CampaignError(
+                        f"supervisor exceeded max_wall={self.cfg.max_wall}s "
+                        f"({self.queue.describe()})"
+                    )
+                for slot in self.slots:
+                    self._drain(slot, now)
+                for slot in self.slots:
+                    age = now - slot.hb.value
+                    self.metrics.gauge(
+                        f"campaign.worker.{slot.slot}.heartbeat_age_s"
+                    ).set(max(0.0, age))
+                    if slot.proc.exitcode is not None:
+                        self._reconcile_death(slot, now)
+                    elif slot.lease is not None and now > slot.lease.deadline:
+                        self._kill(slot, "watchdog_kills")
+                        self._reconcile_death(slot, now)
+                    elif age > self.cfg.heartbeat_timeout:
+                        self._kill(slot, "heartbeat_kills")
+                        self._reconcile_death(slot, now)
+                dispatched = False
+                for slot in self.slots:
+                    if slot.lease is not None or slot.proc.exitcode is not None:
+                        continue
+                    lease = self.queue.lease(
+                        slot.worker_id, now, self.cfg.lease_ttl
+                    )
+                    if lease is None:
+                        break
+                    slot.lease = lease
+                    slot.config = self.configs[lease.trial]
+                    self.metrics.counter("campaign.leases").inc()
+                    slot.task_q.put((slot.config, lease.attempt, lease.token))
+                    dispatched = True
+                if not dispatched:
+                    time.sleep(self.cfg.poll)
+        finally:
+            for slot in self.slots:
+                try:
+                    slot.task_q.put(None)
+                except (OSError, ValueError):
+                    pass
+            for slot in self.slots:
+                slot.proc.join(timeout=2.0)
+                if slot.proc.is_alive():
+                    slot.proc.kill()
+                    slot.proc.join(timeout=5.0)
+
+
+def run_supervised(
+    spec: CampaignSpec,
+    cache: ResultCache,
+    *,
+    state_dir: str | Path,
+    workers: int = 2,
+    trials: Optional[Sequence[Trial]] = None,
+    trace_dir: Optional[str] = None,
+    chaos: Optional[ChaosPlan] = None,
+    retry_budget: int = 3,
+    lease_ttl: float = 60.0,
+    heartbeat_timeout: float = 10.0,
+    backoff_base: float = 0.05,
+    poll: float = 0.02,
+    max_wall: Optional[float] = None,
+) -> CampaignRun:
+    """Drain ``spec`` through the crash-tolerant fleet.
+
+    Same contract as :func:`repro.campaign.executor.run_campaign` —
+    records in spec-expansion order, cache hits served without
+    execution — plus: survives worker death at any point (journal
+    recovery is exact), quarantines deterministically failing trials
+    after ``retry_budget`` attempts, and never hangs on a wedged
+    worker.  The result store is mandatory here: it is the crash
+    consistency substrate, not an optimization.
+    """
+    if cache is None:
+        raise CampaignError(
+            "supervised campaigns need a ResultCache: the store is the "
+            "crash-consistency substrate (use run_campaign for cacheless "
+            "one-shots)"
+        )
+    fleet_cfg = FleetConfig(
+        workers=workers, lease_ttl=lease_ttl,
+        heartbeat_timeout=heartbeat_timeout, retry_budget=retry_budget,
+        backoff_base=backoff_base, poll=poll, max_wall=max_wall,
+    )
+    from repro.obs.metrics import MetricsRegistry
+
+    metrics = MetricsRegistry()
+    trials = list(trials) if trials is not None else spec.trials()
+    trace_dir = trace_dir if trace_dir is not None else spec.trace_dir
+    state_dir = Path(state_dir)
+    state_dir.mkdir(parents=True, exist_ok=True)
+    cache.sweep_tmp()
+    records: list[Optional[dict]] = [None] * len(trials)
+    pending: list[Trial] = []
+    for i, trial in enumerate(trials):
+        hit = cache.get(trial.hash)
+        if (
+            hit is not None
+            and hit.get("status") == "ok"
+            and hit.get("config") == trial.config
+        ):
+            records[i] = {**hit, "cached": True}
+            metrics.counter("campaign.cache_hits").inc()
+        else:
+            pending.append(trial)
+    queue = LeaseQueue(
+        state_dir / "journal.jsonl",
+        [t.hash for t in pending],
+        retry_budget=retry_budget,
+        backoff_base=backoff_base,
+        name=spec.name,
+    )
+    recovered = queue.recover(
+        lambda h: (lambda hit: hit is not None and hit.get("status") == "ok")(
+            cache.get(h)
+        )
+    )
+    metrics.counter("campaign.requeues").inc(recovered["requeued"])
+    configs = {t.hash: t.config for t in pending}
+    if pending:
+        fleet = _Fleet(
+            queue, configs, cache, trace_dir, fleet_cfg, chaos, metrics
+        )
+        fleet.drain_queue()
+        fresh = fleet.records
+    else:
+        fresh = {}
+    by_hash = {t.hash: i for i, t in enumerate(trials)}
+    quarantined = []
+    for trial in pending:
+        i = by_hash[trial.hash]
+        state = queue.states[trial.hash]
+        if trial.hash in fresh:
+            records[i] = {**fresh[trial.hash], "cached": False}
+        elif state.status == "done":
+            # Completed by recovery reconciliation: the record is in
+            # the store even though no worker reported it this run.
+            records[i] = {**cache.get(trial.hash), "cached": False}
+        else:
+            # Quarantined before this run produced a fresh record
+            # (resume after a supervisor crash): synthesize the same
+            # failed record a live attempt would have reported.
+            records[i] = {
+                "hash": trial.hash,
+                "config": trial.config,
+                "seed": trial.config.get("seed"),
+                "status": "failed",
+                "primary": None,
+                "metrics": None,
+                "error": state.error
+                or f"TrialQuarantined: {retry_budget} failed attempt(s)",
+                "cached": False,
+            }
+        if state.status == "quarantined":
+            quarantined.append(trial.hash)
+    return CampaignRun(
+        spec=spec,
+        trials=trials,
+        records=records,
+        quarantined=quarantined,
+        fleet=metrics.snapshot(),
+    )

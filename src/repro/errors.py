@@ -28,6 +28,9 @@ __all__ = [
     "LmtError",
     "SchedError",
     "BenchmarkError",
+    "CampaignError",
+    "LeaseExpired",
+    "TrialQuarantined",
 ]
 
 
@@ -144,3 +147,46 @@ class SchedError(ReproError):
 
 class BenchmarkError(ReproError):
     """Errors in the benchmark harness (bad parameters, empty sweeps)."""
+
+
+class CampaignError(ReproError):
+    """Errors from the campaign fleet (lease queue, supervisor, chaos)."""
+
+
+class LeaseExpired(CampaignError):
+    """A worker acted on a lease the queue had already revoked.
+
+    Raised by :class:`repro.campaign.queue.LeaseQueue` when a
+    completion or failure report arrives for a lease that was requeued
+    (worker presumed dead, deadline passed) and possibly re-granted.
+    The supervisor treats it as a stale message, never a fatal error:
+    the result store is content-addressed, so a late completion is
+    harmless.
+    """
+
+    def __init__(self, trial: str, worker: str, attempt: int):
+        self.trial = trial
+        self.worker = worker
+        self.attempt = attempt
+        super().__init__(
+            f"lease on trial {trial[:12]} attempt {attempt} by worker "
+            f"{worker} has expired or been superseded"
+        )
+
+
+class TrialQuarantined(CampaignError):
+    """Trials exhausted their retry budget with deterministic failures.
+
+    Carries the quarantined trial hashes; raised by
+    :meth:`repro.campaign.executor.CampaignRun.raise_for_quarantine`
+    so strict callers can turn a poisoned sweep into a hard error
+    while the fleet itself keeps draining the healthy trials.
+    """
+
+    def __init__(self, trials: list[str]):
+        self.trials = list(trials)
+        short = ", ".join(t[:12] for t in self.trials)
+        super().__init__(
+            f"{len(self.trials)} trial(s) quarantined after exhausting "
+            f"their retry budget: {short}"
+        )

@@ -8,6 +8,7 @@ from repro.bench.harness import Sweep
 from repro.bench.store import (
     atomic_write_json,
     compare_sweeps,
+    fsync_dir,
     load_sweep,
     save_sweep,
 )
@@ -51,6 +52,14 @@ def test_atomic_write_json_creates_parents(tmp_path):
     path = tmp_path / "a" / "b" / "doc.json"
     atomic_write_json(path, {"x": 1})
     assert json.loads(path.read_text()) == {"x": 1}
+
+
+def test_fsync_dir_flushes_a_directory_entry(tmp_path):
+    """Directory fsync after the rename is what makes the rename
+    durable; on filesystems that refuse it, it degrades silently."""
+    (tmp_path / "doc.json").write_text("{}")
+    fsync_dir(tmp_path)  # must not raise on a normal directory
+    fsync_dir(str(tmp_path))  # str paths accepted too
 
 
 def test_seeds_roundtrip(tmp_path):
