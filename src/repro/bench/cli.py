@@ -328,6 +328,12 @@ def _campaign_parser(chaos: bool = False) -> argparse.ArgumentParser:
         default=0.05,
         help="relative median drift allowed by the gate (default 0.05)",
     )
+    p.add_argument(
+        "--profile",
+        action="store_true",
+        help="arm the wall-clock flight recorder per trial and print the "
+        "aggregated subsystem shares (simulated results are unchanged)",
+    )
     fleet = p.add_argument_group(
         "fleet", "supervised mode (run/resume --supervise, chaos)"
     )
@@ -342,6 +348,12 @@ def _campaign_parser(chaos: bool = False) -> argparse.ArgumentParser:
         metavar="DIR",
         default="results/fleet",
         help="lease journal / fleet state directory (default: results/fleet)",
+    )
+    fleet.add_argument(
+        "--fleet",
+        action="store_true",
+        help="report: read the live fleet telemetry (status.json in "
+        "--state-dir) written by a running/finished supervised campaign",
     )
     fleet.add_argument(
         "--retry-budget",
@@ -443,8 +455,25 @@ def _run_campaign_cli(argv: list[str]) -> int:
     from repro.errors import BenchmarkError
 
     if args.action == "report":
+        if args.fleet:
+            from repro.campaign import format_status, load_status
+
+            status = load_status(args.state_dir)
+            if status is None:
+                print(
+                    f"no readable status.json in {args.state_dir!r} — is "
+                    "a supervised campaign running (or finished) there?",
+                    file=sys.stderr,
+                )
+                return 2
+            print(format_status(status))
+            if args.campaign is None:
+                return 0
         if not args.campaign:
-            print("campaign report needs --campaign FILE", file=sys.stderr)
+            print(
+                "campaign report needs --campaign FILE (or --fleet)",
+                file=sys.stderr,
+            )
             return 2
         with open(args.campaign) as fh:
             doc = json.load(fh)
@@ -531,7 +560,17 @@ def _run_campaign_cli(argv: list[str]) -> int:
             if name.startswith("campaign.") and ".worker." not in name:
                 print(f"{name} = {run.fleet[name]:g}", file=sys.stderr)
     else:
-        run = run_campaign(spec, cache=cache, workers=args.workers)
+        run = run_campaign(
+            spec, cache=cache, workers=args.workers, profile=args.profile
+        )
+        if run.wall is not None:
+            from repro.bench.reporting import format_wall_shares
+
+            print(
+                "wall shares (executed trials): "
+                f"{format_wall_shares(run.wall.shares())}",
+                file=sys.stderr,
+            )
     doc = run.document()
     if args.out:
         atomic_write_json(args.out, doc)
@@ -613,6 +652,67 @@ def _run_nhood(argv: list[str]) -> int:
     return 0
 
 
+def _perf_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-bench perf",
+        description="Run the pinned wall-clock performance suite with the "
+        "flight recorder armed: pingpong, hierarchical allreduce, the "
+        "DMAmin crossover sweep and a serial campaign shard.  Emits "
+        "events/sec, trials/sec and per-subsystem wall shares; the "
+        "simulated timelines are byte-identical to unprofiled runs.",
+    )
+    p.add_argument(
+        "--quick",
+        action="store_true",
+        help="shrink repetition counts (CI perf-smoke mode; same workloads)",
+    )
+    p.add_argument(
+        "--out",
+        metavar="FILE",
+        default="BENCH_perf.json",
+        help="where to write the JSON document (default: BENCH_perf.json)",
+    )
+    p.add_argument(
+        "--collapsed",
+        metavar="FILE",
+        default=None,
+        help="also write flamegraph collapsed stacks (semicolon paths + "
+        "microseconds; feed to flamegraph.pl or speedscope)",
+    )
+    return p
+
+
+def _run_perf(argv: list[str]) -> int:
+    args = _perf_parser().parse_args(argv)
+
+    from repro.bench.perf import (
+        format_perf_doc,
+        run_perf_suite,
+        validate_perf_doc,
+    )
+    from repro.bench.store import atomic_write_json, atomic_write_text
+
+    doc, collapsed = run_perf_suite(quick=args.quick)
+    print(format_perf_doc(doc))
+    atomic_write_json(args.out, doc)
+    print(f"saved perf document to {args.out}", file=sys.stderr)
+    if args.collapsed:
+        atomic_write_text(args.collapsed, "\n".join(collapsed) + "\n")
+        print(
+            f"saved {len(collapsed)} collapsed stacks to {args.collapsed}",
+            file=sys.stderr,
+        )
+    problems = validate_perf_doc(doc)
+    if problems:
+        print(
+            "perf suite FAILED its own schema gate:\n  "
+            + "\n  ".join(problems),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 #: The one subcommand registry: name -> (runner, one-line help).  The
 #: dispatcher and ``--list`` both read this, so adding a subcommand
 #: here is the whole wiring job.
@@ -624,6 +724,7 @@ SUBCOMMANDS = {
     ),
     "sched": (_run_sched, "multi-tenant scheduling interference demo"),
     "nhood": (_run_nhood, "node-aware neighborhood collective demo"),
+    "perf": (_run_perf, "wall-clock flight-recorder suite (BENCH_perf.json)"),
 }
 
 

@@ -1,0 +1,283 @@
+"""The ``repro-bench perf`` suite: where does the simulator's time go?
+
+The ROADMAP's top open item — a 10x faster engine, verified
+bit-identical — needs a measurement to aim at.  This module runs a
+pinned workload suite with the :mod:`repro.obs.prof` flight recorder
+armed and emits ``BENCH_perf.json``:
+
+* **events/sec** — engine throughput over the simulated workloads
+  (the denominator of any future speedup claim);
+* **trials/sec** — campaign harness throughput on a small serial
+  shard (spawn + run + store overhead included);
+* **per-subsystem wall shares** — engine dispatch vs extent-LRU cache
+  ops vs copy-chunk accounting vs everything else, from the
+  profiler's exclusive self-time attribution.
+
+The committed document is a *tracking* artifact, not a gate: absolute
+numbers are host-dependent, so CI's ``perf-smoke`` job asserts only
+schema validity and nonzero throughput (:func:`validate_perf_doc`),
+while humans read the shares to decide what to optimize next.
+``--collapsed FILE`` additionally dumps flamegraph collapsed stacks
+(``path microseconds``; feed to ``flamegraph.pl`` or speedscope).
+
+Workloads (pinned; ``quick`` only shrinks repetition counts):
+
+=========== =========================================================
+pingpong    1 MiB knem-ioat intranode pingpong (DMA + cache path)
+allreduce   2-node hierarchical allreduce (cluster + collective path)
+crossover   Sec. 3.5 DMAmin autotune sweep (many small runs)
+campaign    serial 2-trial campaign shard (harness + store overhead)
+=========== =========================================================
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.obs.prof import SUBSYSTEMS, WallProfiler
+
+__all__ = [
+    "run_perf_suite",
+    "validate_perf_doc",
+    "format_perf_doc",
+    "PERF_VERSION",
+]
+
+PERF_VERSION = 1
+
+
+def _pingpong_main(nbytes: int, reps: int):
+    def main(ctx):
+        comm = ctx.comm
+        buf = ctx.alloc(nbytes)
+        peer = 1 - ctx.rank
+        for i in range(reps):
+            if ctx.rank == 0:
+                yield comm.Send(buf, dest=peer, tag=i)
+                yield comm.Recv(buf, source=peer, tag=i)
+            else:
+                yield comm.Recv(buf, source=peer, tag=i)
+                yield comm.Send(buf, dest=peer, tag=i)
+
+    return main
+
+
+def _measure(fn) -> tuple[float, object]:
+    t0 = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - t0, out
+
+
+def _workload_entry(
+    wall: float, events: int, prof: Optional[WallProfiler]
+) -> dict:
+    entry = {
+        "wall_seconds": wall,
+        "events": events,
+        "events_per_sec": events / wall if wall > 0 else 0.0,
+    }
+    if prof is not None:
+        entry["wall_shares"] = prof.shares(wall)
+        entry["profiled_seconds"] = prof.total_seconds
+    return entry
+
+
+def _run_pingpong(quick: bool, suite: WallProfiler, collapsed: list[str]):
+    from repro.hw.presets import xeon_e5345
+    from repro.mpi.world import run_mpi
+    from repro.obs import ObsConfig
+    from repro.units import MiB
+
+    reps = 2 if quick else 8
+    wall, result = _measure(lambda: run_mpi(
+        xeon_e5345(), 2, _pingpong_main(1 * MiB, reps),
+        bindings=[0, 4], mode="knem-ioat",
+        obs=ObsConfig(profile=True),
+    ))
+    prof = result.obs.prof
+    suite.merge(prof)
+    collapsed.extend(prof.collapsed_lines(prefix="pingpong"))
+    return _workload_entry(wall, result.world.engine.events_executed, prof)
+
+
+def _run_allreduce(quick: bool, suite: WallProfiler, collapsed: list[str]):
+    from repro.hw.presets import cluster_of, xeon_e5345
+    from repro.mpi.cluster import run_cluster
+    from repro.obs import ObsConfig
+    from repro.units import KiB
+
+    reps = 1 if quick else 4
+
+    def main(ctx):
+        from repro.mpi.coll.reduce import allreduce
+
+        a = ctx.alloc(256 * KiB)
+        b = ctx.alloc(256 * KiB)
+        for _ in range(reps):
+            yield from allreduce(ctx.comm, a, b)
+
+    wall, result = _measure(lambda: run_cluster(
+        cluster_of(xeon_e5345(), 2), 4, main, procs_per_node=2,
+        obs=ObsConfig(profile=True),
+    ))
+    prof = result.obs.prof
+    suite.merge(prof)
+    collapsed.extend(prof.collapsed_lines(prefix="allreduce"))
+    return _workload_entry(wall, result.world.engine.events_executed, prof)
+
+
+def _run_crossover(quick: bool):
+    from repro.core.autotune import find_ioat_crossover
+    from repro.hw.presets import xeon_e5345
+
+    wall, res = _measure(lambda: find_ioat_crossover(
+        xeon_e5345(), (0, 1), repetitions=1 if quick else 3
+    ))
+    # No profiler hook inside the autotuner's many short engines; the
+    # suite counts this wall time as un-attributed ("other").
+    return {
+        "wall_seconds": wall,
+        "crossover_bytes": res.measured_crossover,
+    }
+
+
+def _run_campaign_shard(quick: bool, suite: WallProfiler, collapsed: list[str]):
+    import tempfile
+
+    from repro.campaign import CampaignSpec, ResultCache, run_campaign
+    from repro.units import KiB
+
+    spec = CampaignSpec(
+        name="perf-shard",
+        workload="pingpong",
+        backends=("knem",),
+        sizes=(64 * KiB,) if quick else (64 * KiB, 256 * KiB),
+        seeds=(0,),
+        reps=2,
+        noise_sigma=0.0,
+    )
+    with tempfile.TemporaryDirectory() as root:
+        wall, run = _measure(lambda: run_campaign(
+            spec, ResultCache(root), workers=0, profile=True
+        ))
+    trials = len(run.records)
+    entry = {
+        "wall_seconds": wall,
+        "trials": trials,
+        "trials_per_sec": trials / wall if wall > 0 else 0.0,
+        "failures": len(run.failures),
+    }
+    if run.wall is not None:
+        suite.merge(run.wall)
+        collapsed.extend(run.wall.collapsed_lines(prefix="campaign"))
+        entry["wall_shares"] = run.wall.shares(wall)
+    return entry
+
+
+def run_perf_suite(quick: bool = False) -> tuple[dict, list[str]]:
+    """Run the pinned suite; returns ``(document, collapsed_lines)``.
+
+    The document is the ``BENCH_perf.json`` payload; the collapsed
+    lines are the optional flamegraph export (one merged recording,
+    each path rooted at its workload name).
+    """
+    suite = WallProfiler()
+    collapsed: list[str] = []
+    workloads = {
+        "pingpong": _run_pingpong(quick, suite, collapsed),
+        "allreduce": _run_allreduce(quick, suite, collapsed),
+        "crossover": _run_crossover(quick),
+        "campaign": _run_campaign_shard(quick, suite, collapsed),
+    }
+    total_wall = sum(w["wall_seconds"] for w in workloads.values())
+    total_events = sum(w.get("events", 0) for w in workloads.values())
+    doc = {
+        "version": PERF_VERSION,
+        "kind": "perf",
+        "quick": bool(quick),
+        "workloads": workloads,
+        "totals": {
+            "wall_seconds": total_wall,
+            "events": total_events,
+            "events_per_sec": (
+                total_events / total_wall if total_wall > 0 else 0.0
+            ),
+            "trials_per_sec": workloads["campaign"]["trials_per_sec"],
+            "wall_shares": suite.shares(total_wall),
+        },
+    }
+    return doc, sorted(collapsed)
+
+
+def validate_perf_doc(doc: dict) -> list[str]:
+    """Schema + sanity problems (empty list == valid).
+
+    This is the whole CI gate: structure present, throughput nonzero,
+    shares normalized.  Absolute wall numbers are never gated — they
+    measure the runner's host, not the code.
+    """
+    problems: list[str] = []
+    if doc.get("version") != PERF_VERSION:
+        problems.append(f"version {doc.get('version')!r} != {PERF_VERSION}")
+    if doc.get("kind") != "perf":
+        problems.append(f"kind {doc.get('kind')!r} != 'perf'")
+    workloads = doc.get("workloads")
+    if not isinstance(workloads, dict):
+        return problems + ["workloads missing"]
+    for name in ("pingpong", "allreduce", "crossover", "campaign"):
+        w = workloads.get(name)
+        if not isinstance(w, dict):
+            problems.append(f"workload {name} missing")
+            continue
+        if not w.get("wall_seconds", 0) > 0:
+            problems.append(f"{name}: wall_seconds not > 0")
+        if "events" in w and not w.get("events", 0) > 0:
+            problems.append(f"{name}: events not > 0")
+    totals = doc.get("totals")
+    if not isinstance(totals, dict):
+        return problems + ["totals missing"]
+    if not totals.get("events_per_sec", 0) > 0:
+        problems.append("totals.events_per_sec not > 0")
+    if not totals.get("trials_per_sec", 0) > 0:
+        problems.append("totals.trials_per_sec not > 0")
+    shares = totals.get("wall_shares")
+    if not isinstance(shares, dict):
+        problems.append("totals.wall_shares missing")
+    else:
+        for name in (*SUBSYSTEMS, "other"):
+            if name not in shares:
+                problems.append(f"wall_shares.{name} missing")
+        total = sum(shares.values())
+        if shares and not 0.99 <= total <= 1.01:
+            problems.append(f"wall_shares sum {total:.4f} not ~1.0")
+    if workloads.get("campaign", {}).get("failures"):
+        problems.append("campaign shard had failing trials")
+    return problems
+
+
+def format_perf_doc(doc: dict) -> str:
+    """Human-readable report for the CLI."""
+    lines = [
+        f"perf suite v{doc['version']}"
+        + (" (quick)" if doc.get("quick") else "")
+    ]
+    for name, w in doc["workloads"].items():
+        parts = [f"{w['wall_seconds'] * 1e3:8.1f} ms"]
+        if "events" in w:
+            parts.append(f"{w['events']:>8} events")
+            parts.append(f"{w['events_per_sec']:>10.0f} ev/s")
+        if "trials_per_sec" in w:
+            parts.append(f"{w['trials_per_sec']:.2f} trials/s")
+        if "crossover_bytes" in w:
+            parts.append(f"crossover={w['crossover_bytes']}")
+        lines.append(f"  {name:<10} {' '.join(parts)}")
+    totals = doc["totals"]
+    lines.append(
+        f"  {'TOTAL':<10} {totals['wall_seconds'] * 1e3:8.1f} ms "
+        f"{totals['events']:>8} events {totals['events_per_sec']:>10.0f} ev/s"
+    )
+    from repro.bench.reporting import format_wall_shares
+
+    lines.append("  wall shares: " + format_wall_shares(totals["wall_shares"]))
+    return "\n".join(lines)

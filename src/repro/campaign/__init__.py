@@ -19,10 +19,14 @@ scripts:
   processes with death detection, requeue, retry budgets and
   quarantine;
 * :mod:`~repro.campaign.chaos` — seeded worker-kill injection plus the
-  self-check that recovery is byte-exact.
+  self-check that recovery is byte-exact;
+* :mod:`~repro.campaign.telemetry` — live supervised-fleet status:
+  atomic ``status.json`` + Prometheus text exposition rewritten while
+  the queue drains.
 
 CLI: ``repro-bench campaign run|resume|compare|report|chaos``
-(``--supervise`` routes run/resume through the crash-tolerant fleet).
+(``--supervise`` routes run/resume through the crash-tolerant fleet;
+``report --fleet`` reads the telemetry files).
 """
 
 from repro.campaign.cache import ResultCache
@@ -51,6 +55,12 @@ from repro.campaign.stats import (
     aggregate,
     compare_campaigns,
 )
+from repro.campaign.telemetry import (
+    FleetTelemetry,
+    format_status,
+    load_status,
+    prometheus_lines,
+)
 
 __all__ = [
     "CampaignSpec",
@@ -77,4 +87,8 @@ __all__ = [
     "aggregate",
     "compare_campaigns",
     "CampaignComparison",
+    "FleetTelemetry",
+    "prometheus_lines",
+    "load_status",
+    "format_status",
 ]

@@ -32,6 +32,14 @@ class ResultCache:
     def __init__(self, root: str | Path) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        #: Read-side telemetry since construction.  ``hits`` counts
+        #: records served, ``misses`` counts absent keys, and
+        #: ``corrupt_healed`` counts files that were deleted-and-missed
+        #: because they would not parse (a subset of ``misses``).  The
+        #: fleet mirrors these into ``campaign.cache.*`` metrics.
+        self.hits = 0
+        self.misses = 0
+        self.corrupt_healed = 0
 
     def path(self, key: str) -> Path:
         if not key or not set(key) <= _HEX:
@@ -49,13 +57,19 @@ class ResultCache:
         try:
             payload = json.loads(path.read_text())
         except FileNotFoundError:
+            self.misses += 1
             return None
         except json.JSONDecodeError:
             path.unlink(missing_ok=True)
+            self.corrupt_healed += 1
+            self.misses += 1
             return None
         if not isinstance(payload, dict):
             path.unlink(missing_ok=True)
+            self.corrupt_healed += 1
+            self.misses += 1
             return None
+        self.hits += 1
         return payload
 
     def put(self, key: str, record: dict) -> None:

@@ -199,7 +199,11 @@ class ChaosReport:
             f"byte-identical: {'yes' if self.identical else 'NO'}",
         ]
         for name in sorted(self.fleet):
-            lines.append(f"  {name} = {self.fleet[name]:g}")
+            value = self.fleet[name]
+            # Histogram snapshots (wall.* latency dicts) have their own
+            # surface in the telemetry files; only scalars print here.
+            if isinstance(value, (int, float)):
+                lines.append(f"  {name} = {value:g}")
         return "\n".join(lines)
 
 

@@ -72,15 +72,32 @@ def _faults(config: dict):
     return FaultPlan(seed=config["seed"], drop=config["drop"])
 
 
-def _obs(config: dict, trace_dir: Optional[str]):
-    if trace_dir is None:
+def _obs(config: dict, trace_dir: Optional[str], profile: bool = False):
+    """The trial's observability argument.
+
+    Returns ``None`` (inert), or an :class:`~repro.obs.spans.ObsCollector`
+    so :func:`run_trial` keeps a reference and can read the wall-clock
+    recording back out after the workload finishes.  ``profile`` arms
+    the wall profiler only — it never touches the trial config, so
+    trial hashes (and therefore cache keys and the campaign document)
+    are identical with profiling on or off.
+    """
+    if trace_dir is None and not profile:
         return None
     from repro.obs import ObsConfig
+    from repro.obs.spans import ObsCollector
 
-    root = Path(trace_dir)
-    root.mkdir(parents=True, exist_ok=True)
-    path = root / f"{trial_hash(config)}.trace.json"
-    return ObsConfig(spans=True, chrome_path=str(path))
+    chrome_path = None
+    if trace_dir is not None:
+        root = Path(trace_dir)
+        root.mkdir(parents=True, exist_ok=True)
+        chrome_path = str(root / f"{trial_hash(config)}.trace.json")
+    cfg = ObsConfig(
+        spans=trace_dir is not None,
+        profile=profile,
+        chrome_path=chrome_path,
+    )
+    return ObsCollector(config=cfg)
 
 
 def _pingpong_main(nbytes: int, reps: int):
@@ -106,7 +123,7 @@ def _pingpong_main(nbytes: int, reps: int):
     return main
 
 
-def _run_pingpong(config: dict, trace_dir: Optional[str]) -> dict:
+def _run_pingpong(config: dict, obs) -> dict:
     from repro.units import mib_per_s
 
     nbytes = config["size"]
@@ -115,7 +132,7 @@ def _run_pingpong(config: dict, trace_dir: Optional[str]) -> dict:
         mode=config["backend"],
         noise=_noise(config),
         faults=_faults(config),
-        obs=_obs(config, trace_dir),
+        obs=obs,
         max_events=config["max_events"],
         max_sim_time=config["max_sim_time"],
     )
@@ -155,7 +172,7 @@ def _run_pingpong(config: dict, trace_dir: Optional[str]) -> dict:
     return {"primary": "mib_per_s", **metrics}
 
 
-def _run_allreduce(config: dict, trace_dir: Optional[str]) -> dict:
+def _run_allreduce(config: dict, obs) -> dict:
     from repro.hw.presets import cluster_of
     from repro.mpi.cluster import run_cluster
     from repro.mpi.coll.tuning import CollTuning
@@ -188,7 +205,7 @@ def _run_allreduce(config: dict, trace_dir: Optional[str]) -> dict:
         coll_tuning=tuning,
         noise=_noise(config),
         faults=_faults(config),
-        obs=_obs(config, trace_dir),
+        obs=obs,
         max_events=config["max_events"],
         max_sim_time=config["max_sim_time"],
     )
@@ -200,7 +217,7 @@ def _run_allreduce(config: dict, trace_dir: Optional[str]) -> dict:
     }
 
 
-def _run_crossover(config: dict, trace_dir: Optional[str]) -> dict:
+def _run_crossover(config: dict, obs) -> dict:
     from repro.core.autotune import find_ioat_crossover
 
     res = find_ioat_crossover(_topo(config["machine"]), tuple(config["pair"]))
@@ -211,13 +228,13 @@ def _run_crossover(config: dict, trace_dir: Optional[str]) -> dict:
     }
 
 
-def _run_sched(config: dict, trace_dir: Optional[str]) -> dict:
+def _run_sched(config: dict, obs) -> dict:
     from repro.sched import Scheduler, mix_jobs
 
     sched = Scheduler(
         _topo(config["machine"]),
         policy=config["sched_policy"],
-        obs=_obs(config, trace_dir),
+        obs=obs,
         max_events=config["max_events"],
         max_sim_time=config["max_sim_time"],
     )
@@ -242,7 +259,7 @@ def _run_sched(config: dict, trace_dir: Optional[str]) -> dict:
     }
 
 
-def _run_nhood(config: dict, trace_dir: Optional[str]) -> dict:
+def _run_nhood(config: dict, obs) -> dict:
     from repro.hw.presets import cluster_of
     from repro.mpi.cluster import run_cluster
     from repro.nhood import build_pattern, neighbor_alltoallv
@@ -274,7 +291,7 @@ def _run_nhood(config: dict, trace_dir: Optional[str]) -> dict:
         mode=config["backend"],
         noise=_noise(config),
         faults=_faults(config),
-        obs=_obs(config, trace_dir),
+        obs=obs,
         max_events=config["max_events"],
         max_sim_time=config["max_sim_time"],
     )
@@ -291,7 +308,7 @@ def _run_nhood(config: dict, trace_dir: Optional[str]) -> dict:
     }
 
 
-_WORKLOAD_FNS: dict[str, Callable[[dict, Optional[str]], dict]] = {
+_WORKLOAD_FNS: dict[str, Callable[[dict, object], dict]] = {
     "pingpong": _run_pingpong,
     "allreduce": _run_allreduce,
     "crossover": _run_crossover,
@@ -301,13 +318,22 @@ _WORKLOAD_FNS: dict[str, Callable[[dict, Optional[str]], dict]] = {
 
 
 # ---------------------------------------------------------------- execution
-def run_trial(config: dict, trace_dir: Optional[str] = None) -> dict:
+def run_trial(
+    config: dict, trace_dir: Optional[str] = None, profile: bool = False
+) -> dict:
     """Execute one trial; never raises.
 
     Returns the trial record: ``{"hash", "config", "seed", "status",
     "primary", "metrics", "error"}`` with ``status`` of ``"ok"`` or
     ``"failed"``.  Module-level and dict-in/dict-out so it is picklable
     for the worker pool.
+
+    ``profile`` arms the wall-clock flight recorder for the trial's
+    engine and attaches its recording as a transient ``"wall"`` key —
+    an *executor* parameter, never part of the config or hash, and
+    :func:`run_campaign` strips it before records are cached or
+    documented, so profiled and unprofiled campaigns stay
+    byte-identical.
     """
     record = {
         "hash": trial_hash(config),
@@ -327,9 +353,12 @@ def run_trial(config: dict, trace_dir: Optional[str] = None) -> dict:
 
             os.kill(os.getpid(), signal.SIGKILL)
         fn = _WORKLOAD_FNS[config["workload"]]
-        metrics = fn(config, trace_dir)
+        obs = _obs(config, trace_dir, profile)
+        metrics = fn(config, obs)
         record["primary"] = metrics.pop("primary")
         record["metrics"] = metrics
+        if profile and obs is not None:
+            record["wall"] = obs.prof.to_dict()
     except Exception as exc:  # one broken trial must never kill the run
         record["status"] = "failed"
         record["error"] = f"{type(exc).__name__}: {exc}"
@@ -352,6 +381,11 @@ class CampaignRun:
     #: the document must be a pure function of the spec, so recovered
     #: and undisturbed runs compare byte-identical.
     fleet: Optional[dict] = None
+    #: Aggregated wall-clock recording (a
+    #: :class:`~repro.obs.prof.WallProfiler`) when the campaign ran
+    #: with ``profile=True``; host-dependent, so — like ``fleet`` —
+    #: never part of :meth:`document`.
+    wall: Optional[object] = None
 
     @property
     def executed(self) -> int:
@@ -470,6 +504,7 @@ def run_campaign(
     workers: int = 0,
     trials: Optional[Sequence[Trial]] = None,
     trace_dir: Optional[str] = None,
+    profile: bool = False,
 ) -> CampaignRun:
     """Expand ``spec`` and execute every trial not already cached.
 
@@ -477,6 +512,9 @@ def run_campaign(
     pool; otherwise they run serially in-process.  ``trials`` overrides
     the spec expansion (used by tests and partial re-runs).  Cached
     failures are never served — a failed trial always re-executes.
+    ``profile`` arms the wall-clock flight recorder per trial and
+    aggregates the recordings into :attr:`CampaignRun.wall`; trial
+    hashes, records and the campaign document are unaffected.
     """
     trials = list(trials) if trials is not None else spec.trials()
     trace_dir = trace_dir if trace_dir is not None else spec.trace_dir
@@ -492,15 +530,23 @@ def run_campaign(
             records[i] = {**hit, "cached": True}
         else:
             pending.append((i, trial))
+    wall = None
     if pending:
         configs = [t.config for _, t in pending]
-        runner = partial(run_trial, trace_dir=trace_dir)
+        runner = partial(run_trial, trace_dir=trace_dir, profile=profile)
         if workers > 1 and len(configs) > 1:
             fresh = _pool_run(runner, configs, workers)
         else:
             fresh = [runner(c) for c in configs]
         for (i, trial), record in zip(pending, fresh):
+            recording = record.pop("wall", None)
+            if recording is not None:
+                if wall is None:
+                    from repro.obs.prof import WallProfiler
+
+                    wall = WallProfiler()
+                wall.merge_dict(recording)
             if cache is not None and record["status"] == "ok":
                 cache.put(trial.hash, record)
             records[i] = {**record, "cached": False}
-    return CampaignRun(spec=spec, trials=trials, records=records)
+    return CampaignRun(spec=spec, trials=trials, records=records, wall=wall)

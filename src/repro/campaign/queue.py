@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Optional
@@ -217,11 +218,17 @@ class LeaseQueue:
         retry_budget: int = 3,
         backoff_base: float = 0.05,
         name: str = "campaign",
+        metrics=None,
     ) -> None:
         if retry_budget < 1:
             raise CampaignError(f"retry_budget must be >= 1, got {retry_budget}")
         if backoff_base < 0:
             raise CampaignError(f"backoff_base must be >= 0, got {backoff_base}")
+        #: Optional :class:`~repro.obs.metrics.MetricsRegistry`; when
+        #: set, every journal append's write+fsync wall latency lands in
+        #: the ``wall.journal.fsync_seconds`` histogram (the fleet's
+        #: durability tax, surfaced by the telemetry files).
+        self.metrics = metrics
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self.order: list[str] = []
@@ -253,7 +260,14 @@ class LeaseQueue:
 
     # ------------------------------------------------------------ journal
     def _append(self, event: dict) -> None:
-        append_event(self.path, event)
+        if self.metrics is None:
+            append_event(self.path, event)
+        else:
+            t0 = time.perf_counter()
+            append_event(self.path, event)
+            self.metrics.histogram("wall.journal.fsync_seconds").observe(
+                time.perf_counter() - t0
+            )
         self.counters["events"] += 1
 
     def heal_tail(self) -> None:

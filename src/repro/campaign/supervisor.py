@@ -184,6 +184,8 @@ class _Slot:
     hb: object = None
     lease: Optional[Lease] = None
     config: Optional[dict] = None
+    #: Wall clock at dispatch of the current lease (trial latency).
+    dispatch_t: float = 0.0
 
     @property
     def worker_id(self) -> str:
@@ -206,6 +208,7 @@ class _Fleet:
         fleet: FleetConfig,
         chaos: Optional[ChaosPlan],
         metrics,
+        telemetry=None,
     ) -> None:
         self.queue = queue
         self.configs = configs
@@ -214,6 +217,9 @@ class _Fleet:
         self.cfg = fleet
         self.chaos = chaos
         self.metrics = metrics
+        #: Optional :class:`~repro.campaign.telemetry.FleetTelemetry`;
+        #: ticked once per supervision loop iteration.
+        self.telemetry = telemetry
         self.records: dict[str, dict] = {}
         self.ctx = multiprocessing.get_context(
             "fork" if "fork" in multiprocessing.get_all_start_methods()
@@ -253,9 +259,15 @@ class _Fleet:
             slot.proc.kill()
         slot.proc.join(timeout=5.0)
 
-    def _reconcile_death(self, slot: _Slot, now: float) -> None:
-        """A worker died: count it, settle its lease, respawn the slot."""
+    def _reconcile_death(self, slot: _Slot, now: float, detector: str) -> None:
+        """A worker died: count it, settle its lease, respawn the slot.
+
+        ``detector`` names which of the three independent death
+        detectors fired (``exitcode`` / ``heartbeat`` / ``deadline``)
+        so the fleet report can break deaths down by cause.
+        """
         self.metrics.counter("campaign.worker_deaths").inc()
+        self.metrics.counter(f"campaign.deaths.{detector}").inc()
         self.queue.heal_tail()
         self._drain(slot, now)  # reports sent before death still count
         lease = slot.lease
@@ -291,6 +303,9 @@ class _Fleet:
             if lease is None or lease.token != token:
                 continue  # stale report from a reclaimed lease
             self.records[h] = record
+            self.metrics.histogram("wall.trial.seconds").observe(
+                max(0.0, now - slot.dispatch_t)
+            )
             try:
                 if status == "ok":
                     self.queue.note_complete(lease)
@@ -325,13 +340,13 @@ class _Fleet:
                         f"campaign.worker.{slot.slot}.heartbeat_age_s"
                     ).set(max(0.0, age))
                     if slot.proc.exitcode is not None:
-                        self._reconcile_death(slot, now)
+                        self._reconcile_death(slot, now, "exitcode")
                     elif slot.lease is not None and now > slot.lease.deadline:
                         self._kill(slot, "watchdog_kills")
-                        self._reconcile_death(slot, now)
+                        self._reconcile_death(slot, now, "deadline")
                     elif age > self.cfg.heartbeat_timeout:
                         self._kill(slot, "heartbeat_kills")
-                        self._reconcile_death(slot, now)
+                        self._reconcile_death(slot, now, "heartbeat")
                 dispatched = False
                 for slot in self.slots:
                     if slot.lease is not None or slot.proc.exitcode is not None:
@@ -343,9 +358,12 @@ class _Fleet:
                         break
                     slot.lease = lease
                     slot.config = self.configs[lease.trial]
+                    slot.dispatch_t = now
                     self.metrics.counter("campaign.leases").inc()
                     slot.task_q.put((slot.config, lease.attempt, lease.token))
                     dispatched = True
+                if self.telemetry is not None:
+                    self.telemetry.maybe_write()
                 if not dispatched:
                     time.sleep(self.cfg.poll)
         finally:
@@ -425,6 +443,7 @@ def run_supervised(
         retry_budget=retry_budget,
         backoff_base=backoff_base,
         name=spec.name,
+        metrics=metrics,
     )
     recovered = queue.recover(
         lambda h: (lambda hit: hit is not None and hit.get("status") == "ok")(
@@ -432,15 +451,24 @@ def run_supervised(
         )
     )
     metrics.counter("campaign.requeues").inc(recovered["requeued"])
+    from repro.campaign.telemetry import FleetTelemetry
+
+    telemetry = FleetTelemetry(
+        metrics, queue=queue, cache=cache, out_dir=state_dir, name=spec.name
+    )
     configs = {t.hash: t.config for t in pending}
     if pending:
         fleet = _Fleet(
-            queue, configs, cache, trace_dir, fleet_cfg, chaos, metrics
+            queue, configs, cache, trace_dir, fleet_cfg, chaos, metrics,
+            telemetry=telemetry,
         )
         fleet.drain_queue()
         fresh = fleet.records
     else:
         fresh = {}
+    # Final flush: the on-disk status must agree with the report this
+    # function returns, even for an all-cached (zero-dispatch) resume.
+    telemetry.write()
     by_hash = {t.hash: i for i, t in enumerate(trials)}
     quarantined = []
     for trial in pending:

@@ -81,13 +81,19 @@ class ExtentLRUCache:
         Cache size in lines (e.g. 4 MiB / 64 B = 65536).
     name:
         For diagnostics (e.g. ``"L2.die0"``).
+    prof:
+        Optional :class:`~repro.obs.prof.WallProfiler`; when armed,
+        every bulk op (``peek``/``access``/``invalidate``/
+        ``downgrade``) records its wall self time under ``cache.*``.
+        ``None`` (the default) costs one attribute check per op.
     """
 
-    def __init__(self, capacity_lines: int, name: str = "") -> None:
+    def __init__(self, capacity_lines: int, name: str = "", prof=None) -> None:
         if capacity_lines <= 0:
             raise HardwareError(f"cache capacity must be positive: {capacity_lines}")
         self.capacity = capacity_lines
         self.name = name
+        self.prof = prof
         # MRU first; pairwise disjoint in address.
         self._starts = _EMPTY_I
         self._ends = _EMPTY_I
@@ -144,8 +150,54 @@ class ExtentLRUCache:
         if total > self.capacity:
             raise HardwareError(f"{self.name}: over capacity {total} > {self.capacity}")
 
-    # ------------------------------------------------------------ peek
+    # ---------------------------------------------------- profiled API
+    # The public ops delegate to ``_``-prefixed implementations through
+    # a wall-clock timing branch.  With ``prof`` unset or disabled the
+    # only overhead is one attribute check per bulk op (each op already
+    # does several NumPy array rebuilds, so this is noise).
+
     def peek(self, start: int, end: int) -> list[tuple[int, int, bool]]:
+        prof = self.prof
+        if prof is None or not prof.enabled:
+            return self._peek(start, end)
+        frame = prof.push("cache.peek")
+        try:
+            return self._peek(start, end)
+        finally:
+            prof.pop(frame)
+
+    def access(self, start: int, end: int, write: bool) -> AccessResult:
+        prof = self.prof
+        if prof is None or not prof.enabled:
+            return self._access(start, end, write)
+        frame = prof.push("cache.access")
+        try:
+            return self._access(start, end, write)
+        finally:
+            prof.pop(frame)
+
+    def invalidate(self, start: int, end: int) -> tuple[int, int]:
+        prof = self.prof
+        if prof is None or not prof.enabled:
+            return self._invalidate(start, end)
+        frame = prof.push("cache.invalidate")
+        try:
+            return self._invalidate(start, end)
+        finally:
+            prof.pop(frame)
+
+    def downgrade(self, start: int, end: int) -> int:
+        prof = self.prof
+        if prof is None or not prof.enabled:
+            return self._downgrade(start, end)
+        frame = prof.push("cache.downgrade")
+        try:
+            return self._downgrade(start, end)
+        finally:
+            prof.pop(frame)
+
+    # ------------------------------------------------------------ peek
+    def _peek(self, start: int, end: int) -> list[tuple[int, int, bool]]:
         """Resident overlaps of [start, end) as (start, end, dirty),
         in address order, without touching LRU state (a snoop probe).
         Address-adjacent same-dirty segments are merged."""
@@ -166,7 +218,7 @@ class ExtentLRUCache:
         return out
 
     # ---------------------------------------------------------- access
-    def access(self, start: int, end: int, write: bool) -> AccessResult:
+    def _access(self, start: int, end: int, write: bool) -> AccessResult:
         """Bulk access of lines [start, end) in ascending order.
 
         Returns exact hit/miss counts and the number of dirty lines
@@ -257,7 +309,7 @@ class ExtentLRUCache:
         return AccessResult(hits, misses, wb_self + wb_evict)
 
     # ------------------------------------------------------ coherence
-    def invalidate(self, start: int, end: int) -> tuple[int, int]:
+    def _invalidate(self, start: int, end: int) -> tuple[int, int]:
         """Remove [start, end); returns (resident_lines, dirty_lines)."""
         starts, ends, dirty = self._starts, self._ends, self._dirty
         if start >= end or not len(starts):
@@ -273,7 +325,7 @@ class ExtentLRUCache:
         self._set(*_remove_range(starts, ends, dirty, start, end, ov))
         return resident, dirty_lines
 
-    def downgrade(self, start: int, end: int) -> int:
+    def _downgrade(self, start: int, end: int) -> int:
         """Mark [start, end) clean (after a snoop read forces a
         writeback); returns the number of lines that were dirty."""
         starts, ends, dirty = self._starts, self._ends, self._dirty

@@ -34,7 +34,7 @@ class Machine:
             for i in range(topo.ncores)
         ]
         self.caches = [
-            ExtentLRUCache(topo.l2_lines, name=f"L2.die{d}")
+            ExtentLRUCache(topo.l2_lines, name=f"L2.die{d}", prof=engine.obs.prof)
             for d in range(topo.ndies)
         ]
         self.papi = Papi(topo.ncores)

@@ -124,7 +124,18 @@ def _charge_chunk(
     else:
         yield AllOf(machine.engine, waits)
     if move is not None:
-        move()
+        # Wall-profile only the synchronous payload move — never across
+        # a yield, where other processes' wall time would be charged to
+        # this chunk.
+        prof = machine.engine.prof
+        if prof.enabled:
+            frame = prof.push("copy.move")
+            try:
+                move()
+            finally:
+                prof.pop(frame)
+        else:
+            move()
     obs.end(span, dram=dram_bytes, fsb=fsb_bytes)
     tracer = machine.engine.tracer
     if tracer.enabled:
@@ -154,11 +165,20 @@ def cpu_copy(
     ``parent`` links the emitted ``copy`` spans into a causal tree.
     """
     copied = 0
+    prof = machine.engine.prof
     for dv, sv in iter_lockstep(dst_views, src_views, chunk):
-        s0, s1 = machine.line_span(sv.phys, sv.nbytes)
-        d0, d1 = machine.line_span(dv.phys, dv.nbytes)
-        src_bd = machine.coherence.read(core, s0, s1)
-        dst_bd = machine.coherence.write(core, d0, d1)
+        # Wall-profile the synchronous per-chunk accounting (coherence
+        # sweeps nest under this frame as cache.* self time); the
+        # sim-time waits below are yields and are never timed.
+        frame = prof.push("copy.chunk") if prof.enabled else None
+        try:
+            s0, s1 = machine.line_span(sv.phys, sv.nbytes)
+            d0, d1 = machine.line_span(dv.phys, dv.nbytes)
+            src_bd = machine.coherence.read(core, s0, s1)
+            dst_bd = machine.coherence.write(core, d0, d1)
+        finally:
+            if frame is not None:
+                prof.pop(frame)
 
         def move(dv=dv, sv=sv):
             dv.array[:] = sv.array
@@ -188,16 +208,22 @@ def stream_access(
     Generator; returns the number of bytes touched.
     """
     touched = 0
+    prof = machine.engine.prof
     for view in views:
         offset = 0
         while offset < view.nbytes:
             n = min(chunk, view.nbytes - offset)
-            piece = view.sub(offset, n)
-            l0, l1 = machine.line_span(piece.phys, piece.nbytes)
-            if write:
-                bd = machine.coherence.write(core, l0, l1)
-            else:
-                bd = machine.coherence.read(core, l0, l1)
+            frame = prof.push("copy.stream") if prof.enabled else None
+            try:
+                piece = view.sub(offset, n)
+                l0, l1 = machine.line_span(piece.phys, piece.nbytes)
+                if write:
+                    bd = machine.coherence.write(core, l0, l1)
+                else:
+                    bd = machine.coherence.read(core, l0, l1)
+            finally:
+                if frame is not None:
+                    prof.pop(frame)
             # Intensity scales the instruction-stream component only;
             # the memory-side costs come from the breakdown as usual.
             yield from _charge_chunk(

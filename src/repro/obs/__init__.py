@@ -9,15 +9,25 @@ The observability layer for the whole stack.  Three pieces:
 * :mod:`repro.obs.export` — Chrome-trace/Perfetto JSON and JSONL
   exporters plus the CI schema validator;
 * :mod:`repro.obs.phases` — per-phase (copy/syscall/pin/dma/wire)
-  sim-time attribution for benchmark JSON.
+  sim-time attribution for benchmark JSON;
+* :mod:`repro.obs.prof` — the wall-clock flight recorder profiling
+  the harness itself (engine dispatch, cache ops, copy chunks) into
+  the ``wall.*`` metric namespace and flamegraph collapsed stacks.
 
 Enable with ``run_mpi(..., obs=ObsConfig(spans=True))`` or the
 ``repro.bench.cli trace`` subcommand.
 """
 
 from repro.obs.config import ObsConfig
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import (
+    WALL_PREFIX,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
 from repro.obs.phases import STRUCTURAL_KINDS, WORK_KINDS, phase_breakdown
+from repro.obs.prof import SUBSYSTEMS, WallProfiler
 from repro.obs.spans import ObsCollector, Span, SpanContext
 from repro.obs.export import (
     chrome_trace,
@@ -36,6 +46,9 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "WALL_PREFIX",
+    "WallProfiler",
+    "SUBSYSTEMS",
     "WORK_KINDS",
     "STRUCTURAL_KINDS",
     "phase_breakdown",

@@ -23,6 +23,13 @@ class ObsConfig:
         Record causal :class:`~repro.obs.spans.Span` trees (rendezvous
         handshakes, chunk copies, KNEM commands, DMA descriptors, NIC
         attempts, collective phases).
+    profile:
+        Arm the :class:`~repro.obs.prof.WallProfiler` flight recorder:
+        wall-clock self time and call counts per engine handler,
+        extent-LRU cache op, and copy chunk, published into the
+        metrics registry under the ``wall.*`` namespace at finalize.
+        Wall timing never feeds back into the simulation, so enabling
+        it leaves timelines and sim metrics byte-identical.
     metrics:
         Absorb the run's counters (PAPI, regcache, NIC resilience,
         engine stats) into the collector's
@@ -38,6 +45,7 @@ class ObsConfig:
     """
 
     spans: bool = False
+    profile: bool = False
     metrics: bool = True
     max_spans: Optional[int] = None
     chrome_path: Optional[str] = None

@@ -59,6 +59,10 @@ class Engine:
         #: or a ready-made collector; sites guard emission with
         #: ``if engine.obs.enabled:`` just like the tracer.
         self.obs = ObsCollector.attach(obs, clock=lambda: self.now)
+        #: Wall-clock profiler (hoisted from ``obs`` — :meth:`step` is
+        #: the hottest loop in the repo, so the disabled path must cost
+        #: one attribute load and a falsy branch, nothing more).
+        self.prof = self.obs.prof
         #: Progress-watchdog budgets: exceeding either raises
         #: :class:`LivelockError` from :meth:`run` instead of spinning
         #: forever (e.g. a retransmission loop that stops converging).
@@ -137,7 +141,15 @@ class Engine:
             if handle.time < self.now - 1e-18:
                 raise SimulationError("event heap corrupted: time went backwards")
             self.now = handle.time
-            handle.fn(*handle.args)
+            prof = self.prof
+            if prof.enabled:
+                frame = prof.push(prof.handler_key(handle.fn))
+                try:
+                    handle.fn(*handle.args)
+                finally:
+                    prof.pop(frame)
+            else:
+                handle.fn(*handle.args)
             self.events_executed += 1
             if self._failed:
                 raise self._failed[0]

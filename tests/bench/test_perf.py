@@ -1,0 +1,99 @@
+"""The perf suite: document schema, gate semantics, CLI wiring."""
+
+import json
+
+import pytest
+
+from repro.bench.cli import main as cli_main
+from repro.bench.perf import (
+    PERF_VERSION,
+    format_perf_doc,
+    run_perf_suite,
+    validate_perf_doc,
+)
+
+
+@pytest.fixture(scope="module")
+def quick_suite():
+    """One quick suite run shared by the module (it is the slow part)."""
+    return run_perf_suite(quick=True)
+
+
+def test_quick_suite_emits_valid_document(quick_suite):
+    doc, collapsed = quick_suite
+    assert validate_perf_doc(doc) == []
+    assert doc["version"] == PERF_VERSION and doc["quick"] is True
+    assert set(doc["workloads"]) == {
+        "pingpong", "allreduce", "crossover", "campaign",
+    }
+    assert doc["totals"]["events_per_sec"] > 0
+    assert doc["totals"]["trials_per_sec"] > 0
+    assert sum(doc["totals"]["wall_shares"].values()) == pytest.approx(1.0)
+    # Engine dispatch was profiled, so its share must be real.
+    assert doc["totals"]["wall_shares"]["engine"] > 0
+
+
+def test_collapsed_stacks_are_flamegraph_food(quick_suite):
+    _doc, collapsed = quick_suite
+    assert collapsed == sorted(collapsed)
+    for line in collapsed:
+        path, _, count = line.rpartition(" ")
+        assert path and int(count) >= 0
+        root = path.split(";", 1)[0]
+        assert root in {"pingpong", "allreduce", "campaign"}
+    assert any(";engine.dispatch." in line for line in collapsed)
+
+
+def test_format_perf_doc_renders(quick_suite):
+    doc, _ = quick_suite
+    text = format_perf_doc(doc)
+    assert "pingpong" in text and "wall shares:" in text and "TOTAL" in text
+
+
+def test_validator_catches_schema_violations():
+    assert validate_perf_doc({}) != []
+    good_shape = {
+        "version": PERF_VERSION,
+        "kind": "perf",
+        "workloads": {
+            name: {"wall_seconds": 1.0, "events": 10, "events_per_sec": 10.0}
+            for name in ("pingpong", "allreduce", "crossover", "campaign")
+        },
+        "totals": {
+            "events_per_sec": 10.0,
+            "trials_per_sec": 1.0,
+            "wall_shares": {
+                "engine": 0.5, "cache": 0.2, "copy": 0.1, "other": 0.2,
+            },
+        },
+    }
+    assert validate_perf_doc(good_shape) == []
+    zero = json.loads(json.dumps(good_shape))
+    zero["totals"]["events_per_sec"] = 0.0
+    assert any("events_per_sec" in p for p in validate_perf_doc(zero))
+    skew = json.loads(json.dumps(good_shape))
+    skew["totals"]["wall_shares"]["engine"] = 0.9
+    assert any("wall_shares sum" in p for p in validate_perf_doc(skew))
+    failing = json.loads(json.dumps(good_shape))
+    failing["workloads"]["campaign"]["failures"] = 2
+    assert any("failing trials" in p for p in validate_perf_doc(failing))
+
+
+def test_cli_perf_quick_writes_doc_and_collapsed(tmp_path, capsys):
+    out = tmp_path / "BENCH_perf.json"
+    collapsed = tmp_path / "perf.collapsed"
+    assert cli_main([
+        "perf", "--quick", "--out", str(out), "--collapsed", str(collapsed),
+    ]) == 0
+    doc = json.loads(out.read_text())
+    assert validate_perf_doc(doc) == []
+    assert collapsed.read_text().strip()
+    assert "wall shares:" in capsys.readouterr().out
+
+
+def test_committed_bench_perf_document_is_valid():
+    """The checked-in BENCH_perf.json must always pass its own gate."""
+    with open("BENCH_perf.json") as fh:
+        doc = json.load(fh)
+    assert validate_perf_doc(doc) == []
+    assert doc["quick"] is False

@@ -91,3 +91,42 @@ def test_record_survives_process_boundary_format(tmp_path):
     cache = ResultCache(tmp_path)
     cache.put(KEY, RECORD)
     assert json.loads(cache.path(KEY).read_text()) == RECORD
+
+
+# ------------------------------------------------- telemetry counters
+def test_hit_miss_heal_counters(tmp_path):
+    cache = ResultCache(tmp_path)
+    assert (cache.hits, cache.misses, cache.corrupt_healed) == (0, 0, 0)
+    cache.get(KEY)  # absent -> miss
+    assert (cache.hits, cache.misses, cache.corrupt_healed) == (0, 1, 0)
+    cache.put(KEY, RECORD)
+    cache.get(KEY)  # hit
+    cache.get(KEY)  # hit
+    assert (cache.hits, cache.misses, cache.corrupt_healed) == (2, 1, 0)
+    cache.path(KEY).write_text('{"torn": ')
+    cache.get(KEY)  # torn -> healed + counted as a miss
+    assert (cache.hits, cache.misses, cache.corrupt_healed) == (2, 2, 1)
+    # contains-checks don't read records and must not move counters
+    assert KEY not in cache
+    assert (cache.hits, cache.misses, cache.corrupt_healed) == (2, 2, 1)
+
+
+def test_resume_is_all_hits_by_counter(tmp_path):
+    """The counters are how a resume proves itself: second run over the
+    same store serves every trial from cache — hits == trials, zero
+    misses."""
+    from repro.campaign import CampaignSpec, run_campaign
+    from repro.units import KiB
+
+    spec = CampaignSpec(
+        name="resume",
+        backends=("default",),
+        sizes=(64 * KiB,),
+        seeds=(0,),
+    )
+    run_campaign(spec, cache=ResultCache(tmp_path))
+    cache = ResultCache(tmp_path)  # fresh process-equivalent
+    again = run_campaign(spec, cache=cache)
+    assert again.executed == 0
+    assert cache.hits == len(spec.trials()) > 0
+    assert cache.misses == 0 and cache.corrupt_healed == 0

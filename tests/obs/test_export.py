@@ -52,6 +52,7 @@ def test_track_ordering_cores_before_dma_before_nic():
     for track in ("nic1.tx", "dma.ch0", "core4", "core0", "nic0.rx"):
         obs.end(obs.begin("w", kind="copy", track=track))
     doc = chrome_trace(obs.spans)
+    validate_chrome_trace(doc)
     metas = [ev for ev in doc["traceEvents"]
              if ev["ph"] == "M" and ev["name"] == "thread_name"]
     ordered = [m["args"]["name"] for m in sorted(metas, key=lambda m: m["tid"])]
@@ -65,7 +66,9 @@ def test_open_spans_skipped_structural_spans_async():
     obs.end(copy)
     obs.end(msg)
     obs.begin("dangling", kind="copy", track="core0")  # never ended
-    events = chrome_trace(obs.spans)["traceEvents"]
+    doc = chrome_trace(obs.spans)
+    validate_chrome_trace(doc)
+    events = doc["traceEvents"]
     phs = [ev["ph"] for ev in events if ev["ph"] not in "M"]
     assert sorted(phs) == ["B", "E", "b", "e"]
     assert not any(ev.get("name") == "dangling" for ev in events)
@@ -89,7 +92,9 @@ def test_timestamps_are_microseconds():
     span = obs.begin("w", kind="copy", track="core0")
     now[0] = 3e-6
     obs.end(span)
-    events = chrome_trace(obs.spans)["traceEvents"]
+    doc = chrome_trace(obs.spans)
+    validate_chrome_trace(doc)
+    events = doc["traceEvents"]
     begin = next(ev for ev in events if ev["ph"] == "B")
     end = next(ev for ev in events if ev["ph"] == "E")
     assert begin["ts"] == 0.0 and end["ts"] == pytest.approx(3.0)
@@ -127,6 +132,7 @@ def test_jsonl_roundtrips_every_span_including_open_ones():
     obs = ObsCollector(config=ObsConfig(spans=True))
     obs.end(obs.begin("a", kind="copy", track="core0", nbytes=64))
     obs.begin("b", kind="msg", track="core0")  # open
+    validate_chrome_trace(chrome_trace(obs.spans))
     rows = [json.loads(line) for line in jsonl_lines(obs.spans)]
     assert len(rows) == 2
     assert rows[0]["attrs"] == {"nbytes": 64}

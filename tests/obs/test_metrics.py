@@ -70,6 +70,26 @@ def test_histogram_log2_buckets():
         h.observe(-1)
 
 
+def test_histogram_quantile_interpolates_within_bucket():
+    h = Histogram("lat")
+    for v in (1, 2, 3, 4, 1024):
+        h.observe(v)
+    assert h.quantile(0.0) == 1
+    assert h.quantile(1.0) == 1024
+    assert 1 <= h.quantile(0.5) <= 4
+    assert h.quantile(0.99) <= 1024
+    assert Histogram("empty").quantile(0.5) is None
+
+
+def test_sim_snapshot_excludes_wall_namespace():
+    reg = MetricsRegistry()
+    reg.counter("engine.events_executed").inc(7)
+    reg.counter("wall.total_seconds").set(1.23)
+    reg.counter("wall.engine.dispatch.f.seconds").set(0.5)
+    assert "wall.total_seconds" in reg.snapshot()
+    assert reg.sim_snapshot() == {"engine.events_executed": 7}
+
+
 def test_registry_rejects_cross_type_name_collisions():
     reg = MetricsRegistry()
     reg.counter("a")
