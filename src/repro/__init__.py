@@ -32,7 +32,13 @@ from repro.core.policy import ClusterLmtPolicy, LmtConfig, LmtPolicy, MODES
 from repro.faults import FaultPlan, FaultState, LinkFault, LinkWindow
 from repro.hw.machine import Machine
 from repro.hw.params import HwParams
-from repro.hw.presets import cluster_of, nehalem8, xeon_e5345, xeon_x5460
+from repro.hw.presets import (
+    cluster_of,
+    modern_server,
+    nehalem8,
+    xeon_e5345,
+    xeon_x5460,
+)
 from repro.hw.topology import TopologySpec
 from repro.mpi.cluster import ClusterRunResult, run_cluster
 from repro.mpi.communicator import ANY_SOURCE, ANY_TAG, Communicator
@@ -72,6 +78,7 @@ __all__ = [
     "xeon_e5345",
     "xeon_x5460",
     "nehalem8",
+    "modern_server",
     "Engine",
     "__version__",
 ]

@@ -15,6 +15,7 @@ Examples::
     repro-bench campaign chaos --seed 0 --kill-prob 0.3
     repro-bench sched --out BENCH_sched.json
     repro-bench nhood --out BENCH_nhood.json
+    repro-bench offload --out BENCH_offload.json
 
 Subcommands self-register in :data:`SUBCOMMANDS`; ``--list`` and the
 dispatcher both read that one registry, so the help can never drift
@@ -230,8 +231,15 @@ def _campaign_parser(chaos: bool = False) -> argparse.ArgumentParser:
     p.add_argument(
         "--workload",
         default="pingpong",
-        choices=["pingpong", "allreduce", "crossover", "sched", "nhood"],
+        choices=["pingpong", "allreduce", "crossover", "sched", "nhood",
+                 "offload"],
         help="what each trial measures (default: pingpong)",
+    )
+    p.add_argument(
+        "--machine-generations",
+        default="nehalem-era,modern",
+        help="comma list of hardware generations (offload workload only; "
+        "each fixes its machine preset and offload engine)",
     )
     p.add_argument(
         "--sched-policies",
@@ -423,6 +431,7 @@ def _campaign_spec(args):
         job_mixes=tuple(_csv(args.job_mixes)),
         patterns=tuple(_csv(args.patterns)),
         strategies=tuple(_csv(args.strategies)),
+        machine_generations=tuple(_csv(args.machine_generations)),
         trace_dir=args.trace_dir,
     )
 
@@ -652,6 +661,61 @@ def _run_nhood(argv: list[str]) -> int:
     return 0
 
 
+def _offload_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-bench offload",
+        description="Re-derive the DMAmin crossover per machine "
+        "generation: the paper's Xeon E5345 (KNEM vs KNEM+I/OAT) next "
+        "to the modern_server preset (KNEM vs the DSA-class "
+        "memory-operation engine), with the pin-down registration "
+        "cache armed.  Self-checks the crossover direction on both "
+        "generations and that they land on different crossovers.",
+    )
+    p.add_argument(
+        "--out",
+        metavar="FILE",
+        default="BENCH_offload.json",
+        help="where to write the JSON document (default: BENCH_offload.json)",
+    )
+    p.add_argument(
+        "--reps",
+        type=int,
+        default=4,
+        help="pingpong round trips per size (default: 4)",
+    )
+    p.add_argument(
+        "--quick",
+        action="store_true",
+        help="coarser sweep (powers of two only, 2 reps; CI smoke mode)",
+    )
+    return p
+
+
+def _run_offload(argv: list[str]) -> int:
+    args = _offload_parser().parse_args(argv)
+
+    from repro.bench.store import atomic_write_json
+    from repro.offload import format_offload_doc, run_offload_bench
+
+    doc = run_offload_bench(
+        repetitions=2 if args.quick else args.reps,
+        per_octave=1 if args.quick else 2,
+    )
+    print(format_offload_doc(doc))
+    atomic_write_json(args.out, doc)
+    print(f"saved offload document to {args.out}", file=sys.stderr)
+    if not doc["self_check"]["ok"]:
+        print(
+            "offload bench FAILED its own invariant: on each generation "
+            "the CPU copy must win below the crossover and the offload "
+            "engine above it, and the two generations must land on "
+            "different crossovers",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _perf_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro-bench perf",
@@ -725,6 +789,10 @@ SUBCOMMANDS = {
     "sched": (_run_sched, "multi-tenant scheduling interference demo"),
     "nhood": (_run_nhood, "node-aware neighborhood collective demo"),
     "perf": (_run_perf, "wall-clock flight-recorder suite (BENCH_perf.json)"),
+    "offload": (
+        _run_offload,
+        "DMAmin re-derivation across machine generations (DSA vs I/OAT)",
+    ),
 }
 
 

@@ -167,7 +167,17 @@ def obs_block(obs) -> dict:
     recorded — the per-phase sim-time attribution
     (:func:`repro.obs.phase_breakdown`): how much simulated time went
     to ``copy`` vs ``syscall`` vs ``pin`` vs ``dma`` vs ``wire``."""
-    block: dict = {"metrics": obs.metrics.snapshot()}
+    metrics = obs.metrics.snapshot()
+    block: dict = {"metrics": metrics}
+    if "regcache.hits" in metrics:
+        # Pin-down cache summary (Liu et al.): surfaced as its own
+        # sub-block so stored results show the hit rate and the exact
+        # pinned-byte total without grepping the flat namespace.
+        block["regcache"] = {
+            name.split(".", 1)[1]: value
+            for name, value in metrics.items()
+            if name.startswith("regcache.")
+        }
     if obs.enabled:
         block["phase_breakdown"] = obs.phase_breakdown()
         block["spans"] = len(obs.spans)

@@ -308,12 +308,52 @@ def _run_nhood(config: dict, obs) -> dict:
     }
 
 
+def _run_offload(config: dict, obs) -> dict:
+    """One offload trial: CPU copy vs the generation's offload engine
+    at the trial's message size, shared-cache placement, pin-down cache
+    armed (the per-size slice of ``repro-bench offload``)."""
+    from repro.core.policy import LmtConfig
+    from repro.mpi.world import run_mpi
+    from repro.offload.bench import BINDINGS, GENERATIONS
+    from repro.units import mib_per_s
+
+    gen = next(
+        g for g in GENERATIONS
+        if g["generation"] == config["machine_generation"]
+    )
+    topo = _topo(gen["machine"])
+    nbytes = config["size"]
+    rates = {}
+    for key, mode in (("cpu", gen["cpu_mode"]), ("offload", gen["offload_mode"])):
+        main = _pingpong_main(nbytes, config["reps"])
+        result = run_mpi(
+            topo, 2, main,
+            bindings=list(BINDINGS),
+            mode=mode,
+            config=LmtConfig(mode=mode, knem_reg_cache=True),
+            noise=_noise(config),
+            max_events=config["max_events"],
+            max_sim_time=config["max_sim_time"],
+        )
+        rates[key] = mib_per_s(nbytes, result.results[0])
+    return {
+        "primary": "offload_mib_per_s",
+        "offload_mib_per_s": rates["offload"],
+        "cpu_mib_per_s": rates["cpu"],
+        "cpu_mode": gen["cpu_mode"],
+        "offload_mode": gen["offload_mode"],
+        "offload_wins": rates["offload"] > rates["cpu"],
+        "predicted_dmamin": topo.dmamin_bytes(2),
+    }
+
+
 _WORKLOAD_FNS: dict[str, Callable[[dict, object], dict]] = {
     "pingpong": _run_pingpong,
     "allreduce": _run_allreduce,
     "crossover": _run_crossover,
     "sched": _run_sched,
     "nhood": _run_nhood,
+    "offload": _run_offload,
 }
 
 

@@ -28,6 +28,7 @@ from repro.units import KiB, fmt_size
 __all__ = [
     "WORKLOADS",
     "MACHINES",
+    "MACHINE_GENERATIONS",
     "CampaignSpec",
     "Trial",
     "canonical_json",
@@ -37,10 +38,14 @@ __all__ = [
 ]
 
 #: Workloads the executor knows how to run (see repro.campaign.executor).
-WORKLOADS = ("pingpong", "allreduce", "crossover", "sched", "nhood")
+WORKLOADS = ("pingpong", "allreduce", "crossover", "sched", "nhood", "offload")
 
 #: Machine presets a trial config may name (see repro.hw.presets).
-MACHINES = ("xeon_e5345", "xeon_x5460", "nehalem8")
+MACHINES = ("xeon_e5345", "xeon_x5460", "nehalem8", "modern_server")
+
+#: Machine generations the "offload" workload may sweep (each names a
+#: preset; the generation label is the offload bench's vocabulary).
+MACHINE_GENERATIONS = ("nehalem-era", "modern")
 
 #: Bumped whenever trial semantics change incompatibly; salted into
 #: every hash so stale cached results can never be mistaken for fresh.
@@ -90,6 +95,9 @@ def group_label(config: dict) -> str:
         parts.append(config["pattern"])
     if "strategy" in config:
         parts.append(config["strategy"])
+    # And the generation axis only exists on "offload" trials.
+    if "machine_generation" in config:
+        parts.append(config["machine_generation"])
     return "/".join(parts)
 
 
@@ -169,6 +177,12 @@ class CampaignSpec:
     patterns: tuple = ("irregular",)
     #: Strategy axis of the "nhood" workload.
     strategies: tuple = ("direct", "node-aware")
+    #: Machine-generation axis of the "offload" workload (each names a
+    #: hardware era from repro.offload.bench.GENERATIONS; the trial's
+    #: ``machine``/``backend`` axes are ignored there — the generation
+    #: fixes both).  Keys never enter other workloads' configs, so
+    #: legacy trial hashes are untouched.
+    machine_generations: tuple = MACHINE_GENERATIONS
     #: When set, each executed trial writes a Perfetto trace to
     #: ``<trace_dir>/<hash>.trace.json`` (not part of the trial hash).
     trace_dir: Optional[str] = None
@@ -227,6 +241,18 @@ class CampaignSpec:
                     raise BenchmarkError(
                         f"unknown job mix {m!r}; pick from {JOB_MIXES}"
                     )
+        if self.workload == "offload":
+            if not self.machine_generations:
+                raise BenchmarkError(
+                    "offload campaigns need a non-empty machine_generations "
+                    "axis"
+                )
+            for g in self.machine_generations:
+                if g not in MACHINE_GENERATIONS:
+                    raise BenchmarkError(
+                        f"unknown machine generation {g!r}; pick from "
+                        f"{MACHINE_GENERATIONS}"
+                    )
         if self.workload == "nhood":
             from repro.nhood.patterns import PATTERNS
             from repro.nhood.strategy import STRATEGIES
@@ -262,10 +288,29 @@ class CampaignSpec:
             nhood_axes = list(itertools.product(self.patterns, self.strategies))
         else:
             nhood_axes = [(None, None)]
-        for machine, backend, size, nn, pair, drop, tuning, (pol, mix), (
-            pattern, strategy
-        ), seed in itertools.product(
-            self.machines, self.backends, self.sizes, self.nnodes,
+        # For the "offload" workload the generation axis *replaces* the
+        # machine x backend product: each generation fixes its preset
+        # and its offload engine mode (repro.offload.bench.GENERATIONS),
+        # so sweeping machines/backends independently would only mint
+        # duplicate configs.  Other workloads keep the legacy product
+        # untouched — same loop values, same configs, same hashes.
+        if self.workload == "offload":
+            from repro.offload.bench import GENERATIONS
+
+            gen_map = {g["generation"]: g for g in GENERATIONS}
+            mb_axes = [
+                (gen_map[g]["machine"], gen_map[g]["offload_mode"], g)
+                for g in self.machine_generations
+            ]
+        else:
+            mb_axes = [
+                (m, b, None)
+                for m, b in itertools.product(self.machines, self.backends)
+            ]
+        for (machine, backend, generation), size, nn, pair, drop, tuning, (
+            pol, mix
+        ), (pattern, strategy), seed in itertools.product(
+            mb_axes, self.sizes, self.nnodes,
             self.pairs, self.drops, self.tunings, sched_axes, nhood_axes,
             self.seeds,
         ):
@@ -291,6 +336,8 @@ class CampaignSpec:
             if pattern is not None:
                 config["pattern"] = pattern
                 config["strategy"] = strategy
+            if generation is not None:
+                config["machine_generation"] = generation
             out.append(Trial(config=config))
         return out
 

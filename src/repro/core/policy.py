@@ -30,6 +30,9 @@ Fixed modes (used to regenerate each figure's curves):
 ``adaptive``         knem-auto + lowered rendezvous threshold + hint
 ``vmsplice-ioat``    experimental Sec. 6 future work: pipe splice with
                      DMA-engine drain on the receive side
+``dsa``              DSA-class memory-operation engine (modern presets
+                     only; see :mod:`repro.offload`)
+``dsa-auto``         DSA iff size >= DMAmin, else KNEM kernel copy
 =================== ====================================================
 """
 
@@ -61,6 +64,8 @@ MODES = (
     "knem-ioat-async",
     "knem-auto",
     "adaptive",
+    "dsa",
+    "dsa-auto",
 )
 
 #: Rendezvous threshold used by the adaptive mode ("KNEM starts being
@@ -125,6 +130,11 @@ class LmtPolicy:
             VmspliceIoatLmt(),
         ):
             self._backends[backend.name] = backend
+        # Deferred import (mirrors the net.lmt pattern below) so the
+        # core layer never loads the offload package at import time.
+        from repro.offload.dsa_lmt import DsaLmt
+
+        self._backends["dsa"] = DsaLmt()
 
     # ------------------------------------------------------------ lookup
     def backend(self, name: str) -> LmtBackend:
@@ -194,24 +204,35 @@ class LmtPolicy:
     def _degrade(
         self, backend: LmtBackend, node: int, pair, tracer, now: float
     ) -> LmtBackend:
-        """Walk the chain KNEM -> vmsplice -> shm until the node's
-        capability mask admits the backend."""
+        """Walk the chain DSA -> KNEM+I/OAT -> vmsplice -> shm until
+        the node's capability mask (and its hardware) admits the
+        backend.  The DSA step also runs with no capability mask armed:
+        a machine without engines must still fall back."""
         caps = self.capabilities
-        if caps is None:
-            return backend
         name = backend.name
         missing = None
-        while True:
-            if name.startswith("knem"):
-                if caps.node_allows(node, "knem"):
-                    break
-                missing, name = "knem", "vmsplice"
-            elif name.startswith("vmsplice"):
-                if caps.node_allows(node, "vmsplice"):
-                    break
-                missing, name = "vmsplice", "shm"
-            else:
-                break  # shm needs nothing beyond POSIX shared memory
+        if name == "dsa":
+            if self.topo.params.dsa_engines <= 0:
+                missing, name = "dsa engines", "knem+ioat+async"
+            elif caps is not None and not caps.node_allows(node, "dsa"):
+                missing, name = "dsa", "knem+ioat+async"
+        if caps is None:
+            if name == backend.name:
+                return backend
+        else:
+            while True:
+                if name == "dsa":
+                    break  # admitted above
+                if name.startswith("knem"):
+                    if caps.node_allows(node, "knem"):
+                        break
+                    missing, name = "knem", "vmsplice"
+                elif name.startswith("vmsplice"):
+                    if caps.node_allows(node, "vmsplice"):
+                        break
+                    missing, name = "vmsplice", "shm"
+                else:
+                    break  # shm needs nothing beyond POSIX shared memory
         if name == backend.name:
             return backend
         self.note_downgrade(
@@ -273,6 +294,14 @@ class LmtPolicy:
             return self._backends["knem+ioat"]
         if mode == "knem-ioat-async":
             return self._backends["knem+ioat+async"]
+        if mode == "dsa":
+            return self._backends["dsa"]
+        if mode == "dsa-auto":
+            # DSA engine above the dynamic threshold; cache-hot kernel
+            # copy below it — the modern restatement of knem-auto.
+            if nbytes >= self.dmamin(recv_core, cache_sharers, hint):
+                return self._backends["dsa"]
+            return self._backends["knem"]
         if mode in ("knem-auto", "adaptive"):
             # KNEM always; I/OAT above the dynamic threshold.  The
             # asynchronous model is enabled by default only with I/OAT

@@ -44,7 +44,7 @@ __all__ = ["LinkFault", "LinkWindow", "FaultPlan", "FaultState", "CAPABILITIES"]
 #: Capabilities a node may have masked off.  ``knem``/``vmsplice``
 #: gate the intranode LMT chain; ``rdma-reg`` gates internode memory
 #: registration (no registration -> no RDMA rendezvous).
-CAPABILITIES = ("knem", "vmsplice", "rdma-reg")
+CAPABILITIES = ("knem", "vmsplice", "rdma-reg", "dsa")
 
 
 def _check_prob(name: str, p: float) -> None:

@@ -17,10 +17,17 @@ from repro.hw.cache import AccessResult, ExtentLRUCache
 from repro.hw.coherence import CoherenceDomain, StreamBreakdown
 from repro.hw.counters import CounterSet, Papi
 from repro.hw.dma import DmaEngine, DmaRequest
+from repro.hw.dsa import DsaEngine, DsaRequest
 from repro.hw.machine import Machine
 from repro.hw.memory import MemorySystem
 from repro.hw.params import HwParams
-from repro.hw.presets import cluster_of, nehalem8, xeon_e5345, xeon_x5460
+from repro.hw.presets import (
+    cluster_of,
+    modern_server,
+    nehalem8,
+    xeon_e5345,
+    xeon_x5460,
+)
 from repro.hw.topology import TopologySpec
 
 __all__ = [
@@ -32,6 +39,8 @@ __all__ = [
     "Papi",
     "DmaEngine",
     "DmaRequest",
+    "DsaEngine",
+    "DsaRequest",
     "Machine",
     "MemorySystem",
     "HwParams",
@@ -40,4 +49,5 @@ __all__ = [
     "xeon_e5345",
     "xeon_x5460",
     "nehalem8",
+    "modern_server",
 ]

@@ -13,6 +13,7 @@ from repro.hw.cache import ExtentLRUCache
 from repro.hw.coherence import CoherenceDomain
 from repro.hw.counters import Papi
 from repro.hw.dma import DmaEngine
+from repro.hw.dsa import DsaEngine
 from repro.hw.memory import MemorySystem
 from repro.hw.topology import TopologySpec
 from repro.sim.engine import Engine
@@ -41,6 +42,9 @@ class Machine:
         self.coherence = CoherenceDomain(topo, self.caches, self.papi)
         self.memory = MemorySystem(engine, topo.params)
         self.dma = DmaEngine(engine, self)
+        # DSA engines exist only on presets that declare them; legacy
+        # machines stay byte-identical (no extra daemon processes).
+        self.dsa = DsaEngine(engine, self) if topo.params.dsa_engines > 0 else None
         self._phys_cursor = PAGE_SIZE  # keep physical address 0 unmapped
 
     # -------------------------------------------------- physical memory

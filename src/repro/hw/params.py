@@ -83,6 +83,31 @@ class HwParams:
     #: alignment problems", Sec. 4.2).
     dma_misalign_penalty: float = 1.5e-6
 
+    # ---- DSA-style memory-operation engines ------------------------------
+    #: Shared-work-queue copy engines per socket (Park et al.'s DSA
+    #: shape).  0 = the node has none; every Nehalem-era preset keeps
+    #: the default so legacy timing is bit-identical.
+    dsa_engines: int = 0
+    #: Steady-state copy rate of one DSA engine (cache-bypassing).
+    dsa_rate: float = 20.0 * GiB
+    #: Cost of one ENQCMD/doorbell into a shared work queue.  A *batch*
+    #: descriptor amortizes this: one enqueue covers the whole batch.
+    dsa_enqueue: float = 0.3e-6
+    #: Largest contiguous chunk per descriptor.
+    dsa_max_desc_bytes: int = 2 * MiB
+    #: Descriptors per batch descriptor; longer requests pay one
+    #: enqueue per ceil(n / dsa_batch_max) batch.
+    dsa_batch_max: int = 32
+    #: Completion notification: "poll" spins on the completion record
+    #: (latency = dsa_poll_period, CPU busy), "interrupt" sleeps and
+    #: pays the wakeup latency once (CPU idle).
+    dsa_completion: str = "poll"
+    #: Completion-record poll period while spinning (the simulated spin
+    #: loop coalesces several checks per scheduling quantum).
+    dsa_poll_period: float = 0.5e-6
+    #: Interrupt delivery + wakeup latency for interrupt completions.
+    dsa_interrupt_latency: float = 2.0e-6
+
     # ---- kernel costs ---------------------------------------------------
     #: One syscall entry+exit ("about 100ns on an Intel Xeon", Sec. 3.1).
     t_syscall: float = 100e-9

@@ -178,6 +178,20 @@ class KnemDevice:
             yield from self._copy_sync(core, cookie, dst_views, status)
         return status
 
+    def pin(self, core: int, views: Sequence[BufferView], parent=None):
+        """Pin ``views`` through the device's registration cache; used
+        by backends (e.g. the DSA LMT) that borrow the cookie plumbing
+        but move the data on another engine.  Generator."""
+        yield from self._pin(core, list(views), parent=parent)
+
+    def consume(self, cookie_id: int) -> None:
+        """Retire a cookie whose data was moved outside this device
+        (the DSA path): releases the declaration without counting a
+        KNEM copy."""
+        cookie = self.cookie(cookie_id)
+        cookie.active = False
+        self._cookies.pop(cookie.cookie_id, None)
+
     # ------------------------------------------------------- internals
     def _pin(self, core: int, views: Sequence[BufferView], parent=None):
         if self.reg_cache is not None:

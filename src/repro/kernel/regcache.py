@@ -20,6 +20,7 @@ from __future__ import annotations
 from collections import OrderedDict
 
 from repro.kernel.address_space import BufferView
+from repro.units import PAGE_SIZE
 
 __all__ = ["RegistrationCache"]
 
@@ -35,6 +36,11 @@ class RegistrationCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        #: Pages actually pinned through this cache (misses only — hits
+        #: pin nothing).  ``bytes_pinned`` is the exactness surface the
+        #: metrics layer exposes: it must equal ``PAGE_SIZE`` times the
+        #: page counts returned to (and charged by) callers.
+        self.pages_pinned = 0
 
     @staticmethod
     def _key(view: BufferView) -> tuple:
@@ -56,6 +62,7 @@ class RegistrationCache:
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self.evictions += 1
+        self.pages_pinned += pages
         return pages
 
     def invalidate(self, view: BufferView) -> bool:
@@ -68,6 +75,11 @@ class RegistrationCache:
     @property
     def entries(self) -> int:
         return len(self._entries)
+
+    @property
+    def bytes_pinned(self) -> int:
+        """Total bytes this cache has ever pinned (miss traffic)."""
+        return self.pages_pinned * PAGE_SIZE
 
     @property
     def hit_rate(self) -> float:

@@ -243,6 +243,21 @@ class MetricsRegistry:
             sum(m.dma.descriptors_processed for m in machines)
         )
 
+        # DSA-class memory-operation engines (modern presets only — the
+        # guard keeps legacy snapshots free of the keys, so seeded
+        # legacy runs stay byte-identical).
+        dsas = [m.dsa for m in machines if getattr(m, "dsa", None) is not None]
+        if dsas:
+            self.counter("dsa.engine_bytes").set(
+                sum(d.bytes_copied for d in dsas)
+            )
+            self.counter("dsa.descriptors").set(
+                sum(d.descriptors_processed for d in dsas)
+            )
+            self.counter("dsa.batches").set(
+                sum(d.batches_submitted for d in dsas)
+            )
+
         # KNEM devices and their (optional) registration caches.
         knems = list(getattr(world, "knems", None) or [world.knem])
         self.counter("knem.copies_completed").set(
@@ -264,6 +279,8 @@ class MetricsRegistry:
                 "rx_corrupt_discards",
                 "rx_incomplete_discards",
                 "retries_exhausted",
+                "eager_rdma_sends",
+                "eager_rdma_fallbacks",
             ):
                 self.counter(f"nic.{attr}").set(sum(getattr(n, attr) for n in nics))
             self.gauge("nic.backoff_seconds").set(
@@ -294,6 +311,12 @@ class MetricsRegistry:
         self.counter("regcache.hits").set(hits)
         self.counter("regcache.misses").set(misses)
         self.counter("regcache.evictions").set(sum(c.evictions for c in caches))
+        # Exactness invariant: bytes_pinned is PAGE_SIZE times the page
+        # counts the callers charged — intranode (KNEM cache armed) it
+        # must equal PAGES_PINNED * PAGE_SIZE from the PAPI readings.
+        self.counter("regcache.bytes_pinned").set(
+            sum(c.bytes_pinned for c in caches)
+        )
         self.gauge("regcache.entries").set(sum(c.entries for c in caches))
         self.gauge("regcache.hit_rate").set(
             hits / (hits + misses) if hits + misses else 0.0

@@ -1,0 +1,16 @@
+"""Memory-operation offload: DSA-class engines as an LMT backend.
+
+The paper answered "when does offloaded copy beat cache-hot CPU copy"
+for a Nehalem-era I/OAT engine; this subpackage re-asks the question on
+a modern machine generation.  :mod:`repro.hw.dsa` models the engine
+(shared work queues, batch descriptors, poll/interrupt completion);
+:class:`~repro.offload.dsa_lmt.DsaLmt` registers it in the Nemesis LMT
+chooser next to knem/vmsplice/shm; :mod:`repro.offload.bench` sweeps
+message size x backend x machine generation and re-derives DMAmin per
+generation (``repro-bench offload`` -> ``BENCH_offload.json``).
+"""
+
+from repro.offload.bench import format_offload_doc, run_offload_bench
+from repro.offload.dsa_lmt import DsaLmt
+
+__all__ = ["DsaLmt", "run_offload_bench", "format_offload_doc"]

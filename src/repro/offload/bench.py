@@ -1,0 +1,195 @@
+"""`repro-bench offload`: re-derive DMAmin across machine generations.
+
+The paper's Sec. 3.5 measurement — sweep message sizes, find where the
+offloaded pingpong overtakes the CPU-copy pingpong, compare against
+``DMAmin = cache / (2 x sharers)`` — run once per hardware generation:
+
+- **nehalem-era**: the paper's Xeon E5345, KNEM kernel copy vs
+  KNEM + I/OAT (the original Fig. 4 experiment);
+- **modern**: the :func:`~repro.hw.presets.modern_server` preset, KNEM
+  kernel copy vs the DSA-class engine (:mod:`repro.offload.dsa_lmt`).
+
+The committed ``BENCH_offload.json`` self-checks the crossover
+*direction* on each generation (CPU copy wins below the crossover,
+offload wins above it) and that the two generations land on different
+crossovers — the larger modern LLC pushes DMAmin up by roughly the
+cache-growth factor, which is the PR's headline number.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.bench.harness import sweep_sizes
+from repro.bench.imb import imb_pingpong
+from repro.bench.reporting import format_table, topology_block
+from repro.core.policy import LmtConfig
+from repro.hw import presets
+from repro.units import KiB, MiB, fmt_size
+
+__all__ = ["GENERATIONS", "run_offload_bench", "format_offload_doc"]
+
+#: The generation ladder: one entry per evaluated hardware era.  Both
+#: pingpong ranks bind to cores (0, 1), which share the LLC on every
+#: preset here — the placement the DMAmin formula's ``sharers=2`` form
+#: describes.
+GENERATIONS = (
+    {
+        "generation": "nehalem-era",
+        "machine": "xeon_e5345",
+        "cpu_mode": "knem",
+        "offload_mode": "knem-ioat",
+        "lo": 256 * KiB,
+        "hi": 8 * MiB,
+    },
+    {
+        "generation": "modern",
+        "machine": "modern_server",
+        "cpu_mode": "knem",
+        "offload_mode": "dsa",
+        "lo": 1 * MiB,
+        "hi": 48 * MiB,
+    },
+)
+
+BINDINGS = (0, 1)
+
+
+def _measure_generation(
+    gen: dict, repetitions: int, per_octave: int
+) -> dict:
+    topo = getattr(presets, gen["machine"])()
+    sizes = sweep_sizes(gen["lo"], gen["hi"], per_octave=per_octave)
+    cpu_mib: list[float] = []
+    offload_mib: list[float] = []
+    for nbytes in sizes:
+        for mode, out in (
+            (gen["cpu_mode"], cpu_mib),
+            (gen["offload_mode"], offload_mib),
+        ):
+            # The pin-down cache (Liu et al.) is armed on every mode so
+            # repeated pins of the reused pingpong buffers amortize and
+            # the comparison prices steady-state data movement, not
+            # first-touch registration.
+            config = LmtConfig(mode=mode, knem_reg_cache=True)
+            out.append(
+                imb_pingpong(
+                    topo, nbytes, mode=mode, bindings=BINDINGS,
+                    repetitions=repetitions, config=config,
+                ).throughput_mib
+            )
+    # Crossover: smallest swept size from which offload wins *for good*
+    # (same rule as core.autotune.find_ioat_crossover).
+    crossover: Optional[int] = None
+    for size, c, o in zip(sizes, cpu_mib, offload_mib):
+        if o > c:
+            if crossover is None:
+                crossover = size
+        else:
+            crossover = None
+    return {
+        "generation": gen["generation"],
+        "machine": gen["machine"],
+        "topology": topology_block(topo, bindings=BINDINGS),
+        "cpu_mode": gen["cpu_mode"],
+        "offload_mode": gen["offload_mode"],
+        "bindings": list(BINDINGS),
+        "l2_bytes": topo.params.l2_bytes,
+        "sizes": list(sizes),
+        "cpu_mib": cpu_mib,
+        "offload_mib": offload_mib,
+        "measured_crossover_bytes": crossover,
+        "predicted_dmamin_bytes": topo.dmamin_bytes(2),
+    }
+
+
+def run_offload_bench(
+    repetitions: int = 4,
+    per_octave: int = 2,
+    generations: Optional[Sequence[dict]] = None,
+) -> dict:
+    """Run the generation sweep; returns the self-checking document.
+
+    ``repetitions``/``per_octave`` shrink the sweep for smoke runs; the
+    committed ``BENCH_offload.json`` uses the defaults.  The simulation
+    is deterministic (no noise model is armed), so reruns reproduce the
+    document byte-for-byte.
+    """
+    gens = [
+        _measure_generation(g, repetitions, per_octave)
+        for g in (generations or GENERATIONS)
+    ]
+    checks: dict[str, bool] = {}
+    for g in gens:
+        tag = g["generation"].replace("-", "_")
+        crossover = g["measured_crossover_bytes"]
+        checks[f"{tag}_crossover_found"] = crossover is not None
+        # Direction: CPU copy wins the smallest size, offload the largest.
+        checks[f"{tag}_cpu_wins_below"] = g["cpu_mib"][0] > g["offload_mib"][0]
+        checks[f"{tag}_offload_wins_above"] = (
+            g["offload_mib"][-1] > g["cpu_mib"][-1]
+        )
+    if len(gens) >= 2:
+        crossings = [g["measured_crossover_bytes"] for g in gens]
+        checks["generations_differ"] = (
+            None not in crossings and len(set(crossings)) == len(crossings)
+        )
+    checks["ok"] = all(checks.values())
+    return {
+        "bench": "offload",
+        "bindings": list(BINDINGS),
+        "repetitions": repetitions,
+        "per_octave": per_octave,
+        "pin_down_cache": True,
+        "generations": gens,
+        "self_check": checks,
+    }
+
+
+def format_offload_doc(doc: dict) -> str:
+    """Human-readable rendering of :func:`run_offload_bench` output."""
+    blocks: list[str] = []
+    for g in doc["generations"]:
+        rows = [
+            [fmt_size(s), round(c, 1), round(o, 1),
+             "offload" if o > c else "cpu"]
+            for s, c, o in zip(g["sizes"], g["cpu_mib"], g["offload_mib"])
+        ]
+        blocks.append(
+            format_table(
+                ["size", f"{g['cpu_mode']} MiB/s",
+                 f"{g['offload_mode']} MiB/s", "winner"],
+                rows,
+                title=f"{g['generation']} ({g['machine']})",
+            )
+        )
+    rows = [
+        [
+            g["generation"],
+            fmt_size(g["l2_bytes"]),
+            g["offload_mode"],
+            fmt_size(g["predicted_dmamin_bytes"]),
+            fmt_size(g["measured_crossover_bytes"])
+            if g["measured_crossover_bytes"]
+            else "beyond sweep",
+        ]
+        for g in doc["generations"]
+    ]
+    blocks.append(
+        format_table(
+            ["generation", "LLC", "engine", "DMAmin (formula)",
+             "crossover (measured)"],
+            rows,
+            title="re-derived DMAmin per generation",
+        )
+    )
+    checks = doc["self_check"]
+    blocks.append(
+        "self-check: "
+        + " ".join(
+            f"{name}={'PASS' if ok else 'FAIL'}"
+            for name, ok in checks.items()
+            if name != "ok"
+        )
+    )
+    return "\n\n".join(blocks)

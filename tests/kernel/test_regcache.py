@@ -105,3 +105,68 @@ def test_reg_cache_improves_medium_knem_throughput():
         config=LmtConfig(mode="knem", knem_reg_cache=True),
     )
     assert cached.throughput_mib > plain.throughput_mib
+
+
+# ------------------------------------------------ bytes_pinned exactness
+def test_bytes_pinned_counts_only_miss_traffic(view_factory):
+    rc = RegistrationCache()
+    v = view_factory(64 * KiB)
+    rc.lookup_pages_to_pin([v])          # miss: pins every page
+    rc.lookup_pages_to_pin([v])          # hit: pins nothing
+    assert rc.pages_pinned == v.npages
+    assert rc.bytes_pinned == v.npages * 4096
+
+
+def test_bytes_pinned_matches_papi_pages_exactly():
+    """The obs-layer exactness invariant (the DMA_BYTES analogue): with
+    the KNEM cache armed, ``regcache.bytes_pinned`` in the metrics
+    snapshot equals PAGES_PINNED * PAGE_SIZE from the PAPI readings —
+    they are the same pins, counted in two places."""
+    nbytes = 1 * MiB
+
+    def main(ctx):
+        comm = ctx.comm
+        buf = ctx.alloc(nbytes)
+        peer = 1 - ctx.rank
+        for rep in range(3):
+            if ctx.rank == 0:
+                yield comm.Send(buf, dest=peer, tag=rep)
+                yield comm.Recv(buf, source=peer, tag=rep)
+            else:
+                yield comm.Recv(buf, source=peer, tag=rep)
+                yield comm.Send(buf, dest=peer, tag=rep)
+
+    r = run_mpi(TOPO, 2, main, bindings=[0, 4],
+                config=LmtConfig(mode="knem", knem_reg_cache=True))
+    snap = r.obs.metrics.snapshot()
+    assert snap["regcache.bytes_pinned"] == snap["PAGES_PINNED"] * 4096
+    assert snap["regcache.bytes_pinned"] > 0
+
+
+def test_obs_block_surfaces_the_regcache_summary():
+    from repro.bench.reporting import obs_block
+
+    nbytes = 256 * KiB
+
+    def main(ctx):
+        comm = ctx.comm
+        buf = ctx.alloc(nbytes)
+        peer = 1 - ctx.rank
+        for rep in range(2):
+            if ctx.rank == 0:
+                yield comm.Send(buf, dest=peer, tag=rep)
+                yield comm.Recv(buf, source=peer, tag=rep)
+            else:
+                yield comm.Recv(buf, source=peer, tag=rep)
+                yield comm.Send(buf, dest=peer, tag=rep)
+
+    r = run_mpi(TOPO, 2, main, bindings=[0, 4],
+                config=LmtConfig(mode="knem", knem_reg_cache=True))
+    block = obs_block(r.obs)
+    rc = block["regcache"]
+    assert rc["bytes_pinned"] == block["metrics"]["regcache.bytes_pinned"]
+    assert set(rc) >= {"hits", "misses", "evictions", "hit_rate",
+                       "bytes_pinned", "entries"}
+    # Without a cache armed there is no block to mislead anyone.
+    plain = run_mpi(TOPO, 2, main, bindings=[0, 4], mode="knem")
+    assert "regcache" not in obs_block(plain.obs)

@@ -1,0 +1,96 @@
+"""The `repro-bench offload` document: schema, self-check, rendering."""
+
+import json
+
+import pytest
+
+from repro.offload.bench import (
+    GENERATIONS,
+    format_offload_doc,
+    run_offload_bench,
+)
+from repro.units import KiB, MiB
+
+
+@pytest.fixture(scope="module")
+def doc():
+    """A shrunken but real two-generation sweep (smoke-sized)."""
+    gens = (
+        dict(GENERATIONS[0], lo=512 * KiB, hi=8 * MiB),
+        dict(GENERATIONS[1], lo=4 * MiB, hi=48 * MiB),
+    )
+    return run_offload_bench(repetitions=1, per_octave=1, generations=gens)
+
+
+def test_generation_ladder_covers_both_eras():
+    assert [g["generation"] for g in GENERATIONS] == ["nehalem-era", "modern"]
+    assert GENERATIONS[0]["offload_mode"] == "knem-ioat"
+    assert GENERATIONS[1]["offload_mode"] == "dsa"
+
+
+def test_doc_schema(doc):
+    assert doc["bench"] == "offload"
+    assert doc["pin_down_cache"] is True
+    for g in doc["generations"]:
+        assert len(g["sizes"]) == len(g["cpu_mib"]) == len(g["offload_mib"])
+        assert g["predicted_dmamin_bytes"] == g["l2_bytes"] // 4
+        assert g["topology"]
+    # JSON-serializable end to end (the committed artifact).
+    json.dumps(doc)
+
+
+def test_self_check_passes_on_both_generations(doc):
+    checks = doc["self_check"]
+    assert checks["ok"], checks
+    assert checks["nehalem_era_crossover_found"]
+    assert checks["modern_crossover_found"]
+    assert checks["generations_differ"]
+
+
+def test_crossover_direction(doc):
+    """CPU copy wins the small end, the offload engine the large end,
+    and the measured crossover sits inside the swept range."""
+    for g in doc["generations"]:
+        assert g["cpu_mib"][0] > g["offload_mib"][0]
+        assert g["offload_mib"][-1] > g["cpu_mib"][-1]
+        assert g["sizes"][0] < g["measured_crossover_bytes"] <= g["sizes"][-1]
+
+
+def test_modern_crossover_scales_with_the_cache(doc):
+    """The headline number: the modern LLC is 8x the Xeon's, so the
+    offload break-even moves up — strictly larger crossover."""
+    nehalem, modern = doc["generations"]
+    assert modern["l2_bytes"] == 8 * nehalem["l2_bytes"]
+    assert (
+        modern["measured_crossover_bytes"]
+        > nehalem["measured_crossover_bytes"]
+    )
+    assert (
+        modern["predicted_dmamin_bytes"]
+        == 8 * nehalem["predicted_dmamin_bytes"]
+    )
+
+
+def test_format_offload_doc_renders_tables_and_checks(doc):
+    text = format_offload_doc(doc)
+    assert "nehalem-era (xeon_e5345)" in text
+    assert "modern (modern_server)" in text
+    assert "re-derived DMAmin per generation" in text
+    assert "self-check:" in text and "FAIL" not in text
+
+
+def test_failed_self_check_is_loud():
+    bad = {
+        "generations": [
+            {
+                "generation": "g", "machine": "m", "l2_bytes": 4 * MiB,
+                "cpu_mode": "knem", "offload_mode": "dsa",
+                "sizes": [1, 2], "cpu_mib": [1.0, 2.0],
+                "offload_mib": [3.0, 1.0],
+                "measured_crossover_bytes": None,
+                "predicted_dmamin_bytes": MiB,
+            }
+        ],
+        "self_check": {"ok": False, "g_crossover_found": False},
+    }
+    assert "FAIL" in format_offload_doc(bad)

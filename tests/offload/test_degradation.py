@@ -1,0 +1,84 @@
+"""Graceful degradation of the DSA backend through capability masks.
+
+The chain under test: dsa -> knem+ioat+async -> (vmsplice) -> shm,
+driven by :class:`repro.faults.FaultPlan` node masks — exactly one
+structured downgrade event per (pair, transition), payload intact.
+"""
+
+import pytest
+
+from repro import FaultPlan, modern_server, run_mpi
+from repro.faults import CAPABILITIES, FaultState
+from repro.units import MiB
+
+TOPO = modern_server()
+
+
+def _pingpong(nbytes, reps=2):
+    def main(ctx):
+        comm = ctx.comm
+        buf = ctx.alloc(nbytes)
+        peer = 1 - ctx.rank
+        status = None
+        for rep in range(reps):
+            fill = rep + 1
+            if ctx.rank == 0:
+                buf.data[:] = fill
+                yield comm.Send(buf, dest=peer, tag=rep)
+                yield comm.Recv(buf, source=peer, tag=rep)
+            else:
+                status = yield comm.Recv(buf, source=peer, tag=rep)
+                yield comm.Send(buf, dest=peer, tag=rep)
+            assert (buf.data == fill).all(), "payload corrupted"
+        return status.path if status else None
+
+    return main
+
+
+def test_dsa_is_a_declared_capability():
+    assert "dsa" in CAPABILITIES
+    state = FaultState(FaultPlan(masked={0: frozenset({"dsa"})}))
+    assert not state.node_allows(0, "dsa")
+    assert state.node_allows(1, "dsa")
+
+
+@pytest.mark.parametrize(
+    "masked, expect",
+    [
+        (frozenset({"dsa"}), "knem+ioat+async"),
+        (frozenset({"dsa", "knem"}), "vmsplice"),
+        (frozenset({"dsa", "knem", "vmsplice"}), "shm"),
+    ],
+    ids=["mask-dsa", "mask-dsa-knem", "mask-all-kernel-paths"],
+)
+def test_masked_dsa_walks_the_chain(masked, expect):
+    r = run_mpi(
+        TOPO, 2, _pingpong(4 * MiB, reps=3), bindings=[0, 1], mode="dsa",
+        faults=FaultPlan(seed=1, masked={0: masked}),
+    )
+    assert r.results[1] == expect
+    events = r.world.policy.downgrades
+    # One structured event per (pair, transition) — repeats dedupe.
+    assert len(events) == 1
+    assert events[0]["from"] == "dsa"
+    assert events[0]["to"] == expect
+    assert events[0]["pair"] == (0, 1) or events[0]["pair"] == [0, 1]
+
+
+def test_unmasked_node_keeps_dsa():
+    r = run_mpi(
+        TOPO, 2, _pingpong(2 * MiB), bindings=[0, 1], mode="dsa",
+        faults=FaultPlan(seed=1, masked={3: frozenset({"dsa"})}),
+    )
+    assert r.results[1] == "dsa"
+    assert r.world.policy.downgrades == []
+
+
+def test_zero_mask_plan_is_transparent():
+    """Arming an empty fault plan must not change what the dsa mode
+    selects or the simulated result."""
+    bare = run_mpi(TOPO, 2, _pingpong(2 * MiB), bindings=[0, 1], mode="dsa")
+    armed = run_mpi(TOPO, 2, _pingpong(2 * MiB), bindings=[0, 1], mode="dsa",
+                    faults=FaultPlan(seed=3))
+    assert bare.results[1] == armed.results[1] == "dsa"
+    assert bare.elapsed == armed.elapsed

@@ -1,0 +1,63 @@
+"""Tenancy story for the DSA backend: a co-located DSA job must be
+invisible in the victim's shared cache.
+
+The modern-server variant of the Table 2 experiment: the same pair mix
+(stream victim beside a pingpong aggressor) on :func:`modern_server`,
+where ``mode="dsa"`` routes the aggressor's transfers through the
+memory-operation engine.  Like I/OAT, the engine's copies bypass the
+LLC — so the :class:`~repro.sched.interference.InterferenceLedger`
+must attribute exactly zero victim evictions to the DSA job, while the
+shm double-buffering aggressor trashes the victim wholesale.
+"""
+
+import pytest
+
+from repro.hw import modern_server
+from repro.sched import Scheduler, mix_jobs
+from repro.units import MiB
+
+SIZE = 16 * MiB
+
+
+def _pair(mode):
+    sched = Scheduler(modern_server(), policy="fifo")
+    return sched, sched.run(mix_jobs("pair", size=SIZE, mode=mode))
+
+
+@pytest.fixture(scope="module")
+def shm():
+    return _pair("default")
+
+
+@pytest.fixture(scope="module")
+def dsa():
+    return _pair("dsa")
+
+
+def test_dsa_job_really_used_the_engine(dsa):
+    sched, result = dsa
+    assert sched.machine.dsa is not None
+    assert sched.machine.dsa.bytes_copied > 0
+
+
+def test_dsa_job_evicts_zero_victim_lines(dsa):
+    _, result = dsa
+    assert result.job("victim").interference[
+        "l2_lines_evicted_by_others"
+    ] == 0
+    assert result.cross_job_evictions == 0
+    assert result.metrics["sched.cross_job_l2_evictions"] == 0
+
+
+def test_shm_aggressor_still_trashes_the_modern_llc(shm):
+    _, result = shm
+    assert result.job("victim").interference[
+        "l2_lines_evicted_by_others"
+    ] > 0
+
+
+def test_victim_slowdown_gap(shm, dsa):
+    shm_slow = shm[1].job("victim").slowdown
+    dsa_slow = dsa[1].job("victim").slowdown
+    assert shm_slow > dsa_slow
+    assert dsa_slow < 1.2  # bus sharing only, no cache pollution
