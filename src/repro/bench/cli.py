@@ -30,11 +30,25 @@ import sys
 import time
 
 
+def _subcommand_lines() -> list[str]:
+    """One line per registered subcommand, straight from the registry."""
+    return [
+        f"  {name:<10} {help_line}"
+        for name, (_runner, help_line) in SUBCOMMANDS.items()
+    ]
+
+
 def _parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro-bench",
         description="Regenerate the ICPP'09 MPICH2-Nemesis/KNEM paper's "
         "figures and tables on the simulated testbed.",
+        # The epilogue renders the live registry, so a new subcommand
+        # appears in --help the moment it is added to SUBCOMMANDS —
+        # no manual edit, no drift (the registry test pins this).
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="subcommands (repro-bench <name> --help for each):\n"
+        + "\n".join(_subcommand_lines()),
     )
     p.add_argument("--figure", type=int, choices=[3, 4, 5, 6, 7], help="figure number")
     p.add_argument("--table", type=int, choices=[1, 2], help="table number")
@@ -211,22 +225,14 @@ def _run_sched(argv: list[str]) -> int:
     return 0 if ok else 1
 
 
-def _campaign_parser(chaos: bool = False) -> argparse.ArgumentParser:
-    p = argparse.ArgumentParser(
-        prog="repro-bench campaign",
-        description="Run declarative experiment campaigns over the "
-        "simulated testbed: axis cross-products, a multiprocessing "
-        "worker pool, a content-addressed result cache (re-runs are "
-        "100%% cache hits), a baseline regression gate, and a "
-        "crash-tolerant supervised fleet with a chaos self-check.",
-    )
-    p.add_argument(
-        "action",
-        choices=["run", "resume", "compare", "report", "chaos"],
-        help="run/resume a campaign, gate against a baseline, "
-        "pretty-print a saved campaign JSON, or run the chaos "
-        "harness (seeded worker kills + byte-exact recovery check)",
-    )
+def _add_spec_axes(p: argparse.ArgumentParser, chaos: bool = False) -> None:
+    """Register the campaign-spec axis arguments on ``p``.
+
+    Shared between ``campaign`` and ``service submit`` so a spec typed
+    at either CLI expands to the same trials (same defaults, same
+    parsing) — which is what makes their result hashes, and therefore
+    the store dedup, line up.
+    """
     p.add_argument("--name", default="campaign", help="campaign name")
     p.add_argument(
         "--workload",
@@ -298,6 +304,30 @@ def _campaign_parser(chaos: bool = False) -> argparse.ArgumentParser:
     )
     p.add_argument("--reps", type=int, default=2, help="round trips per trial")
     p.add_argument(
+        "--trace-dir",
+        metavar="DIR",
+        help="also write a Perfetto trace per executed trial",
+    )
+
+
+def _campaign_parser(chaos: bool = False) -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-bench campaign",
+        description="Run declarative experiment campaigns over the "
+        "simulated testbed: axis cross-products, a multiprocessing "
+        "worker pool, a content-addressed result cache (re-runs are "
+        "100%% cache hits), a baseline regression gate, and a "
+        "crash-tolerant supervised fleet with a chaos self-check.",
+    )
+    p.add_argument(
+        "action",
+        choices=["run", "resume", "compare", "report", "chaos"],
+        help="run/resume a campaign, gate against a baseline, "
+        "pretty-print a saved campaign JSON, or run the chaos "
+        "harness (seeded worker kills + byte-exact recovery check)",
+    )
+    _add_spec_axes(p, chaos=chaos)
+    p.add_argument(
         "--workers",
         type=int,
         default=min(4, os.cpu_count() or 1),
@@ -311,11 +341,6 @@ def _campaign_parser(chaos: bool = False) -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--no-cache", action="store_true", help="always execute every trial"
-    )
-    p.add_argument(
-        "--trace-dir",
-        metavar="DIR",
-        help="also write a Perfetto trace per executed trial",
     )
     p.add_argument(
         "--out", metavar="FILE", help="write the campaign JSON document"
@@ -777,9 +802,16 @@ def _run_perf(argv: list[str]) -> int:
     return 0
 
 
+def _run_service(argv: list[str]) -> int:
+    """Lazy wrapper: the serving layer only imports when used."""
+    from repro.service.cli import main as service_main
+
+    return service_main(argv)
+
+
 #: The one subcommand registry: name -> (runner, one-line help).  The
-#: dispatcher and ``--list`` both read this, so adding a subcommand
-#: here is the whole wiring job.
+#: dispatcher, ``--list``, and the top-level ``--help`` epilogue all
+#: read this, so adding a subcommand here is the whole wiring job.
 SUBCOMMANDS = {
     "trace": (_run_trace, "Perfetto/Chrome trace export of a pingpong"),
     "campaign": (
@@ -792,6 +824,10 @@ SUBCOMMANDS = {
     "offload": (
         _run_offload,
         "DMAmin re-derivation across machine generations (DSA vs I/OAT)",
+    ),
+    "service": (
+        _run_service,
+        "long-running campaign coordinator (submit/status/watch/fetch)",
     ),
 }
 

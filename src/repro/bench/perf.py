@@ -27,6 +27,7 @@ pingpong    1 MiB knem-ioat intranode pingpong (DMA + cache path)
 allreduce   2-node hierarchical allreduce (cluster + collective path)
 crossover   Sec. 3.5 DMAmin autotune sweep (many small runs)
 campaign    serial 2-trial campaign shard (harness + store overhead)
+store       result-store put/get throughput, directory vs sqlite
 =========== =========================================================
 """
 
@@ -175,6 +176,71 @@ def _run_campaign_shard(quick: bool, suite: WallProfiler, collapsed: list[str]):
     return entry
 
 
+def _run_store(quick: bool):
+    """Serving-layer throughput: the result-store backends head-to-head.
+
+    Writes then reads back a batch of realistic trial records through
+    each *shared* backend (the coordinator's store choices), so
+    ``BENCH_perf.json`` tracks writes/sec and fetches/sec per backend —
+    the numbers that bound how fast a fleet can land results and how
+    fast resubmissions are served.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.campaign.spec import trial_hash
+
+    n = 64 if quick else 512
+    record = {
+        "config": {"workload": "pingpong", "backend": "knem", "size": 65536},
+        "seed": 0,
+        "status": "ok",
+        "primary": 4305.85,
+        "metrics": {"mib_per_s": 4305.85, "elapsed": 1.17e-4},
+        "error": None,
+    }
+    backends = {}
+    total_wall = 0.0
+    for kind in ("directory", "sqlite"):
+        from repro.service.stores import DirectoryStore, SqliteStore
+
+        with tempfile.TemporaryDirectory() as root:
+            store = (
+                DirectoryStore(Path(root) / "results")
+                if kind == "directory"
+                else SqliteStore(Path(root) / "results.db")
+            )
+            keys = [trial_hash({"i": i}) for i in range(n)]
+
+            def write_all():
+                for key in keys:
+                    store.put(key, {**record, "hash": key})
+
+            def fetch_all():
+                misses = 0
+                for key in keys:
+                    if store.get(key) is None:
+                        misses += 1
+                return misses
+
+            write_wall, _ = _measure(write_all)
+            fetch_wall, misses = _measure(fetch_all)
+            store.close()
+        total_wall += write_wall + fetch_wall
+        backends[kind] = {
+            "write_wall_seconds": write_wall,
+            "writes_per_sec": n / write_wall if write_wall > 0 else 0.0,
+            "fetch_wall_seconds": fetch_wall,
+            "fetches_per_sec": n / fetch_wall if fetch_wall > 0 else 0.0,
+            "misses": misses,
+        }
+    return {
+        "wall_seconds": total_wall,
+        "records": n,
+        "backends": backends,
+    }
+
+
 def run_perf_suite(quick: bool = False) -> tuple[dict, list[str]]:
     """Run the pinned suite; returns ``(document, collapsed_lines)``.
 
@@ -189,6 +255,7 @@ def run_perf_suite(quick: bool = False) -> tuple[dict, list[str]]:
         "allreduce": _run_allreduce(quick, suite, collapsed),
         "crossover": _run_crossover(quick),
         "campaign": _run_campaign_shard(quick, suite, collapsed),
+        "store": _run_store(quick),
     }
     total_wall = sum(w["wall_seconds"] for w in workloads.values())
     total_events = sum(w.get("events", 0) for w in workloads.values())
@@ -225,7 +292,7 @@ def validate_perf_doc(doc: dict) -> list[str]:
     workloads = doc.get("workloads")
     if not isinstance(workloads, dict):
         return problems + ["workloads missing"]
-    for name in ("pingpong", "allreduce", "crossover", "campaign"):
+    for name in ("pingpong", "allreduce", "crossover", "campaign", "store"):
         w = workloads.get(name)
         if not isinstance(w, dict):
             problems.append(f"workload {name} missing")
@@ -234,6 +301,16 @@ def validate_perf_doc(doc: dict) -> list[str]:
             problems.append(f"{name}: wall_seconds not > 0")
         if "events" in w and not w.get("events", 0) > 0:
             problems.append(f"{name}: events not > 0")
+    for kind in ("directory", "sqlite"):
+        b = workloads.get("store", {}).get("backends", {}).get(kind)
+        if not isinstance(b, dict):
+            problems.append(f"store backend {kind} missing")
+            continue
+        for rate in ("writes_per_sec", "fetches_per_sec"):
+            if not b.get(rate, 0) > 0:
+                problems.append(f"store.{kind}.{rate} not > 0")
+        if b.get("misses", 0):
+            problems.append(f"store.{kind} dropped {b['misses']} record(s)")
     totals = doc.get("totals")
     if not isinstance(totals, dict):
         return problems + ["totals missing"]
@@ -272,6 +349,11 @@ def format_perf_doc(doc: dict) -> str:
         if "crossover_bytes" in w:
             parts.append(f"crossover={w['crossover_bytes']}")
         lines.append(f"  {name:<10} {' '.join(parts)}")
+        for kind, b in w.get("backends", {}).items():
+            lines.append(
+                f"    {kind:<9} {b['writes_per_sec']:>10.0f} writes/s "
+                f"{b['fetches_per_sec']:>10.0f} fetches/s"
+            )
     totals = doc["totals"]
     lines.append(
         f"  {'TOTAL':<10} {totals['wall_seconds'] * 1e3:8.1f} ms "

@@ -1,11 +1,20 @@
-"""Content-addressed on-disk store of trial results.
+"""Content-addressed store of trial results, behind a pluggable backend.
 
-One JSON file per trial, named by the trial's config hash
-(``results/<hash>.json``).  Writes go through
+One record per trial, keyed by the trial's config hash.  Historically
+this was always a directory of ``results/<hash>.json`` files; the
+serving layer generalized the backing into the
+:class:`repro.service.stores.ResultStore` interface (directory, sqlite,
+in-memory), and :class:`ResultCache` became the facade the campaign
+stack talks to: it owns the read-side hit/miss accounting and delegates
+storage, corruption healing and tmp-sweeping to whichever backend it
+fronts.
+
+Directory stores keep the original crash story — writes go through
 :func:`repro.bench.store.atomic_write_json` (tmp + fsync + rename), so
-an interrupted campaign leaves at worst a stray ``.tmp`` file — never
-a torn record — and simply resumes on the next run: hashes already in
-the cache are served as hits, everything else executes.
+an interrupted campaign leaves at worst a stray ``.tmp`` file, never a
+torn record.  The sqlite store gets the same property from WAL
+journaling, plus wholesale rebuild (journal replay re-runs the lost
+trials) if the database file itself is destroyed.
 
 Only successful trials are stored; failures always re-run, which is
 what makes ``campaign resume`` a retry of exactly the broken subset.
@@ -13,85 +22,120 @@ what makes ``campaign resume`` a retry of exactly the broken subset.
 
 from __future__ import annotations
 
-import json
-import string
 from pathlib import Path
 from typing import Optional
 
-from repro.bench.store import atomic_write_json
 from repro.errors import BenchmarkError
 
 __all__ = ["ResultCache"]
 
-_HEX = set(string.hexdigits.lower())
-
 
 class ResultCache:
-    """Hash-keyed trial records under one directory."""
+    """Hash-keyed trial records over a pluggable :class:`ResultStore`.
 
-    def __init__(self, root: str | Path) -> None:
-        self.root = Path(root)
-        self.root.mkdir(parents=True, exist_ok=True)
+    Construct with a directory path (the historical calling convention,
+    still the default backing) or any ``ResultStore`` instance; use
+    :meth:`open` to construct from a store URL (worker processes reopen
+    the coordinator's store this way).
+    """
+
+    def __init__(self, backing) -> None:
+        from repro.service.stores import ResultStore
+
+        if isinstance(backing, ResultStore):
+            self.store = backing
+        else:
+            from repro.service.stores import DirectoryStore
+
+            self.store = DirectoryStore(backing)
         #: Read-side telemetry since construction.  ``hits`` counts
-        #: records served, ``misses`` counts absent keys, and
-        #: ``corrupt_healed`` counts files that were deleted-and-missed
-        #: because they would not parse (a subset of ``misses``).  The
-        #: fleet mirrors these into ``campaign.cache.*`` metrics.
+        #: records served, ``misses`` counts absent keys; both live on
+        #: the facade because they describe *this reader*, not the
+        #: shared backing.  The fleet mirrors these into
+        #: ``campaign.cache.*`` metrics.
         self.hits = 0
         self.misses = 0
-        self.corrupt_healed = 0
+
+    @classmethod
+    def open(cls, url: str) -> "ResultCache":
+        """A cache over the store ``url`` names (see ``open_store``)."""
+        from repro.service.stores import open_store
+
+        return cls(open_store(url))
+
+    # ------------------------------------------------- backend passthrough
+    @property
+    def url(self) -> str:
+        """String another process can :meth:`open` to share the backing."""
+        return self.store.url
+
+    @property
+    def shared(self) -> bool:
+        """Whether :attr:`url` reopens to the *same* records elsewhere."""
+        return self.store.shared
+
+    @property
+    def corrupt_healed(self) -> int:
+        """Records deleted-and-missed because they would not parse.
+
+        Lives on the store (healing mutates the shared backing), but
+        reads as a counter here for backward compatibility — it is a
+        subset of ``misses``.
+        """
+        return self.store.corrupt_healed
+
+    @property
+    def root(self) -> Path:
+        """Directory-store root (raises for non-directory backings)."""
+        root = getattr(self.store, "root", None)
+        if root is None:
+            raise BenchmarkError(
+                f"cache backing is {self.store.kind!r}, not a directory"
+            )
+        return root
 
     def path(self, key: str) -> Path:
-        if not key or not set(key) <= _HEX:
-            raise BenchmarkError(f"cache key is not a hex digest: {key!r}")
-        return self.root / f"{key}.json"
+        """Record path for directory backings (chaos harness hook)."""
+        if not hasattr(self.store, "path"):
+            raise BenchmarkError(
+                f"cache backing is {self.store.kind!r}: records have no paths"
+            )
+        return self.store.path(key)
 
+    # ---------------------------------------------------------- read/write
     def get(self, key: str) -> Optional[dict]:
         """The stored record, or None on a miss.
 
-        A corrupt file (torn write from a pre-atomic store, manual
-        tampering) is deleted and treated as a miss — the trial simply
-        re-runs and rewrites it.
+        A corrupt record (torn write from a pre-atomic store, manual
+        tampering) is deleted by the backend and treated as a miss —
+        the trial simply re-runs and rewrites it.
         """
-        path = self.path(key)
-        try:
-            payload = json.loads(path.read_text())
-        except FileNotFoundError:
-            self.misses += 1
-            return None
-        except json.JSONDecodeError:
-            path.unlink(missing_ok=True)
-            self.corrupt_healed += 1
-            self.misses += 1
-            return None
-        if not isinstance(payload, dict):
-            path.unlink(missing_ok=True)
-            self.corrupt_healed += 1
+        record = self.store.get(key)
+        if record is None:
             self.misses += 1
             return None
         self.hits += 1
-        return payload
+        return record
 
     def put(self, key: str, record: dict) -> None:
-        atomic_write_json(self.path(key), record)
+        self.store.put(key, record)
 
     def sweep_tmp(self) -> int:
-        """Delete stale ``.tmp`` files (writers killed mid-write).
+        """Delete stale partial-write litter (backend-specific).
 
-        Called by the supervised fleet on startup: a ``.tmp`` is always
-        either a finished write that never got renamed or a torn one —
-        in both cases the trial re-runs, so the file is pure litter.
+        Called by the supervised fleet on startup; a no-op for backends
+        whose writes leave no litter (sqlite, memory).
         """
-        stale = list(self.root.glob("*.tmp"))
-        for path in stale:
-            path.unlink(missing_ok=True)
-        return len(stale)
+        return self.store.sweep_tmp()
 
     def keys(self) -> list[str]:
-        return sorted(p.stem for p in self.root.glob("*.json"))
+        return self.store.keys()
+
+    def close(self) -> None:
+        self.store.close()
 
     def __len__(self) -> int:
-        return len(self.keys())
+        return len(self.store)
 
     def __contains__(self, key: str) -> bool:
-        return self.path(key).exists()
+        return key in self.store

@@ -295,15 +295,23 @@ class LeaseQueue:
                 os.close(fd)
 
     # ------------------------------------------------------------- leasing
-    def lease(self, worker: str, now: float, ttl: float) -> Optional[Lease]:
+    def lease(
+        self, worker: str, now: float, ttl: float, skip=None
+    ) -> Optional[Lease]:
         """Grant the first ready pending trial, or None if none is.
 
         Trials are scanned in spec-expansion order; a trial inside its
         backoff window (``not_before``) is skipped, not blocked on.
+        ``skip`` is an optional hash set to pass over — the coordinator
+        uses it to keep a trial already in flight for *another*
+        submission from running twice (its result is propagated on
+        completion instead).
         """
         for h in self.order:
             state = self.states[h]
             if state.status != "pending" or now < state.not_before:
+                continue
+            if skip is not None and h in skip:
                 continue
             state.status = "leased"
             state.attempts += 1

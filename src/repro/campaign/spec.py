@@ -345,6 +345,33 @@ class CampaignSpec:
         """JSON form embedded in campaign documents."""
         return {f.name: getattr(self, f.name) for f in fields(self)}
 
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CampaignSpec":
+        """Rebuild a spec from its :meth:`to_dict` JSON form.
+
+        JSON turns tuples into lists, so every axis is coerced back
+        (``pairs`` into a tuple of 2-tuples); the rebuilt spec's
+        :meth:`trials` are identical to the original's — this is what
+        makes a spec submitted over the service wire hash-compatible
+        with the same spec run locally.  Unknown keys are rejected:
+        silently dropping an axis would change the trial set.
+        """
+        if not isinstance(payload, dict):
+            raise BenchmarkError(f"campaign spec must be a dict, got {type(payload).__name__}")
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise BenchmarkError(f"unknown campaign spec field(s): {', '.join(unknown)}")
+        kwargs = dict(payload)
+        for axis in ("machines", "backends", "sizes", "nnodes", "drops",
+                     "tunings", "seeds", "sched_policies", "job_mixes",
+                     "patterns", "strategies", "machine_generations"):
+            if axis in kwargs:
+                kwargs[axis] = tuple(kwargs[axis])
+        if "pairs" in kwargs:
+            kwargs["pairs"] = tuple(tuple(p) for p in kwargs["pairs"])
+        return cls(**kwargs)
+
     def describe(self) -> str:
         axes = (
             f"{len(self.machines)} machine(s) x {len(self.backends)} "

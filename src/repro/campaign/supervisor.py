@@ -102,7 +102,7 @@ def _worker_main(
     task_q,
     done_q,
     hb,
-    cache_root: str,
+    store_url: str,
     trace_dir: Optional[str],
     journal_path: str,
     plan: Optional[ChaosPlan],
@@ -124,7 +124,7 @@ def _worker_main(
             "point": "spawn",
         })
         os.kill(os.getpid(), signal.SIGKILL)
-    cache = ResultCache(cache_root)
+    cache = ResultCache.open(store_url)
     while True:
         task = task_q.get()
         if task is None:
@@ -244,7 +244,7 @@ class _Fleet:
             target=_worker_main,
             args=(
                 slot.slot, slot.incarnation, slot.task_q, slot.done_q,
-                slot.hb, str(self.cache.root), self.trace_dir,
+                slot.hb, self.cache.url, self.trace_dir,
                 str(self.queue.path), self.chaos,
             ),
             daemon=True,
@@ -410,6 +410,12 @@ def run_supervised(
             "supervised campaigns need a ResultCache: the store is the "
             "crash-consistency substrate (use run_campaign for cacheless "
             "one-shots)"
+        )
+    if not cache.shared:
+        raise CampaignError(
+            f"supervised campaigns need a cross-process store; the "
+            f"{cache.store.kind!r} backing is process-local (use the "
+            "directory or sqlite store)"
         )
     fleet_cfg = FleetConfig(
         workers=workers, lease_ttl=lease_ttl,

@@ -31,6 +31,7 @@ __all__ = [
     "CampaignError",
     "LeaseExpired",
     "TrialQuarantined",
+    "ServiceError",
 ]
 
 
@@ -190,3 +191,8 @@ class TrialQuarantined(CampaignError):
             f"{len(self.trials)} trial(s) quarantined after exhausting "
             f"their retry budget: {short}"
         )
+
+
+class ServiceError(CampaignError):
+    """Errors from the campaign serving layer (coordinator, wire
+    protocol, worker agents, result-store backends)."""

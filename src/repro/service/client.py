@@ -1,0 +1,117 @@
+"""Client-side API of the campaign service.
+
+:class:`ServiceClient` wraps the wire protocol in methods: ``submit``
+a spec, poll ``status``, ``watch`` until settled, ``fetch`` the
+finished document, ``cancel``, ``shutdown``.  Every call is a one-shot
+request/response on a fresh connection, so any number of clients — and
+any number of *threads* within one client — can hit the same
+coordinator concurrently with no connection state to corrupt.
+
+Construct from an explicit ``(host, port)`` or from a state directory,
+in which case the endpoint is discovered from the coordinator's
+``service.json``.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Callable, Optional, Union
+
+from repro.campaign.spec import CampaignSpec
+from repro.errors import ServiceError
+from repro.service.protocol import read_endpoint, request
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """Handle on a running coordinator."""
+
+    def __init__(
+        self,
+        target: Union[str, Path, tuple],
+        *,
+        client: str = "cli",
+        timeout: float = 30.0,
+    ) -> None:
+        if isinstance(target, tuple):
+            self.host, self.port = target[0], int(target[1])
+        else:
+            endpoint = read_endpoint(target)
+            self.host, self.port = endpoint["host"], int(endpoint["port"])
+        #: Identity attached to submissions (per-client queue-depth
+        #: metrics key on the coordinator).
+        self.client = client
+        self.timeout = timeout
+
+    def _request(self, msg: dict) -> dict:
+        reply = request(self.host, self.port, msg, timeout=self.timeout)
+        if reply.get("type") == "error":
+            raise ServiceError(reply.get("error", "unknown service error"))
+        return reply
+
+    # ------------------------------------------------------------------ API
+    def ping(self) -> dict:
+        return self._request({"type": "ping"})
+
+    def submit(
+        self,
+        spec: Union[CampaignSpec, dict],
+        priority: str = "bulk",
+    ) -> dict:
+        """Submit a campaign; returns ``{sub, trials, hits, pending}``."""
+        payload = spec.to_dict() if isinstance(spec, CampaignSpec) else spec
+        return self._request({
+            "type": "submit",
+            "spec": payload,
+            "priority": priority,
+            "client": self.client,
+        })
+
+    def status(self, sub: Optional[str] = None) -> dict:
+        """One submission's status dict, or the whole-service status."""
+        msg: dict = {"type": "status"}
+        if sub is not None:
+            msg["sub"] = sub
+            return self._request(msg)["submission"]
+        return self._request(msg)
+
+    def watch(
+        self,
+        sub: str,
+        *,
+        interval: float = 0.2,
+        timeout: Optional[float] = 300.0,
+        on_update: Optional[Callable[[dict], None]] = None,
+    ) -> dict:
+        """Poll until the submission settles; returns its final status.
+
+        ``on_update`` (if given) receives every polled status — the CLI
+        uses it to stream progress lines.
+        """
+        deadline = None if timeout is None else time.time() + timeout
+        last = None
+        while True:
+            status = self.status(sub)
+            if on_update is not None and status != last:
+                on_update(status)
+                last = dict(status)
+            if status["settled"] or status["state"] == "cancelled":
+                return status
+            if deadline is not None and time.time() > deadline:
+                raise ServiceError(
+                    f"watch timed out after {timeout}s: {status}"
+                )
+            time.sleep(interval)
+
+    def fetch(self, sub: str) -> dict:
+        """The finished campaign document (byte-identical to a serial
+        ``campaign run`` of the same spec)."""
+        return self._request({"type": "fetch", "sub": sub})["doc"]
+
+    def cancel(self, sub: str) -> dict:
+        return self._request({"type": "cancel", "sub": sub})
+
+    def shutdown(self) -> None:
+        self._request({"type": "shutdown"})

@@ -22,10 +22,31 @@ def test_list_enumerates_every_subcommand(capsys):
 
 
 def test_registry_has_the_known_subcommands():
-    assert {"trace", "campaign", "sched", "nhood"} <= set(SUBCOMMANDS)
+    assert {"trace", "campaign", "sched", "nhood", "service"} <= set(SUBCOMMANDS)
     for name, (runner, help_line) in SUBCOMMANDS.items():
         assert callable(runner)
         assert help_line  # one-line description for --list
+
+
+def test_help_epilogue_enumerates_every_subcommand(capsys):
+    """Top-level --help must list every registered subcommand too: the
+    epilogue is generated from SUBCOMMANDS at parser-build time, so a
+    new subcommand appears there with zero manual edits."""
+    with pytest.raises(SystemExit) as exc:
+        main(["--help"])
+    assert exc.value.code == 0
+    out = capsys.readouterr().out
+    assert "subcommands" in out
+    for name, (_runner, help_line) in SUBCOMMANDS.items():
+        assert name in out, f"--help epilogue omits subcommand {name!r}"
+        assert help_line in out, f"--help epilogue omits {name!r}'s help line"
+
+
+def test_subcommand_help_lines_fit_the_epilogue():
+    """Registry help lines must be single-line (the epilogue renders
+    them verbatim, one per row)."""
+    for name, (_runner, help_line) in SUBCOMMANDS.items():
+        assert "\n" not in help_line, f"{name!r} help line is multi-line"
 
 
 def test_no_args_shows_help(capsys):

@@ -24,7 +24,7 @@ def test_quick_suite_emits_valid_document(quick_suite):
     assert validate_perf_doc(doc) == []
     assert doc["version"] == PERF_VERSION and doc["quick"] is True
     assert set(doc["workloads"]) == {
-        "pingpong", "allreduce", "crossover", "campaign",
+        "pingpong", "allreduce", "crossover", "campaign", "store",
     }
     assert doc["totals"]["events_per_sec"] > 0
     assert doc["totals"]["trials_per_sec"] > 0
@@ -48,6 +48,18 @@ def test_format_perf_doc_renders(quick_suite):
     doc, _ = quick_suite
     text = format_perf_doc(doc)
     assert "pingpong" in text and "wall shares:" in text and "TOTAL" in text
+    assert "writes/s" in text and "fetches/s" in text
+
+
+def test_store_workload_measures_both_shared_backends(quick_suite):
+    """Satellite: the serving layer's throughput is tracked per backend."""
+    doc, _ = quick_suite
+    store = doc["workloads"]["store"]
+    assert set(store["backends"]) == {"directory", "sqlite"}
+    for b in store["backends"].values():
+        assert b["writes_per_sec"] > 0
+        assert b["fetches_per_sec"] > 0
+        assert b["misses"] == 0  # every write was read back
 
 
 def test_validator_catches_schema_violations():
@@ -56,8 +68,24 @@ def test_validator_catches_schema_violations():
         "version": PERF_VERSION,
         "kind": "perf",
         "workloads": {
-            name: {"wall_seconds": 1.0, "events": 10, "events_per_sec": 10.0}
-            for name in ("pingpong", "allreduce", "crossover", "campaign")
+            **{
+                name: {
+                    "wall_seconds": 1.0, "events": 10, "events_per_sec": 10.0,
+                }
+                for name in ("pingpong", "allreduce", "crossover", "campaign")
+            },
+            "store": {
+                "wall_seconds": 1.0,
+                "records": 10,
+                "backends": {
+                    kind: {
+                        "writes_per_sec": 10.0,
+                        "fetches_per_sec": 10.0,
+                        "misses": 0,
+                    }
+                    for kind in ("directory", "sqlite")
+                },
+            },
         },
         "totals": {
             "events_per_sec": 10.0,
@@ -77,6 +105,14 @@ def test_validator_catches_schema_violations():
     failing = json.loads(json.dumps(good_shape))
     failing["workloads"]["campaign"]["failures"] = 2
     assert any("failing trials" in p for p in validate_perf_doc(failing))
+    slow_store = json.loads(json.dumps(good_shape))
+    slow_store["workloads"]["store"]["backends"]["sqlite"]["writes_per_sec"] = 0
+    assert any("sqlite.writes_per_sec" in p
+               for p in validate_perf_doc(slow_store))
+    no_backend = json.loads(json.dumps(good_shape))
+    del no_backend["workloads"]["store"]["backends"]["directory"]
+    assert any("store backend directory" in p
+               for p in validate_perf_doc(no_backend))
 
 
 def test_cli_perf_quick_writes_doc_and_collapsed(tmp_path, capsys):

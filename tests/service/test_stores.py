@@ -1,0 +1,232 @@
+"""ResultStore conformance: every backend passes the same suite."""
+
+import json
+
+import pytest
+
+from repro.campaign.cache import ResultCache
+from repro.errors import BenchmarkError
+from repro.service.stores import (
+    DirectoryStore,
+    MemoryStore,
+    SqliteStore,
+    check_key,
+    open_store,
+)
+
+KEY = "ab" * 32
+KEY2 = "cd" * 32
+RECORD = {"hash": KEY, "status": "ok", "metrics": {"mib_per_s": 1234.5}}
+
+
+@pytest.fixture(params=["directory", "sqlite", "memory"])
+def store(request, tmp_path):
+    if request.param == "directory":
+        yield DirectoryStore(tmp_path / "results")
+    elif request.param == "sqlite":
+        s = SqliteStore(tmp_path / "results.db")
+        yield s
+        s.close()
+    else:
+        yield MemoryStore()
+
+
+# ------------------------------------------------------------- conformance
+def test_get_put_roundtrip(store):
+    assert store.get(KEY) is None
+    store.put(KEY, RECORD)
+    assert store.get(KEY) == RECORD
+    assert KEY in store
+    assert len(store) == 1
+
+
+def test_roundtrip_preserves_key_order_and_floats(store):
+    record = {"z": 1, "a": 0.1 + 0.2, "nested": {"y": None, "b": [1, 2]}}
+    store.put(KEY, record)
+    got = store.get(KEY)
+    assert json.dumps(got) == json.dumps(record)  # order + float exactness
+
+
+def test_put_replaces(store):
+    store.put(KEY, {"v": 1})
+    store.put(KEY, {"v": 2})
+    assert store.get(KEY) == {"v": 2}
+    assert len(store) == 1
+
+
+def test_delete_is_idempotent(store):
+    store.put(KEY, RECORD)
+    store.delete(KEY)
+    store.delete(KEY)  # absent: no error
+    assert store.get(KEY) is None
+    assert KEY not in store
+
+
+def test_keys_sorted(store):
+    store.put(KEY2, RECORD)
+    store.put(KEY, RECORD)
+    assert store.keys() == sorted([KEY, KEY2])
+
+
+def test_non_hex_keys_rejected(store):
+    for bad in ("", "../../etc/passwd", "ABCDEF", "xyz", "a b"):
+        with pytest.raises(BenchmarkError):
+            store.put(bad, RECORD)
+        with pytest.raises(BenchmarkError):
+            store.get(bad)
+
+
+def test_corrupt_record_healed_as_miss(store):
+    """A record that will not parse is deleted and missed — the trial
+    re-runs instead of serving garbage."""
+    store.put(KEY, RECORD)
+    if isinstance(store, DirectoryStore):
+        store.path(KEY).write_text("{torn")
+    elif isinstance(store, SqliteStore):
+        store._execute(
+            "UPDATE results SET payload = ? WHERE key = ?", ("{torn", KEY)
+        )
+    else:
+        store.inject_corrupt(KEY)
+    assert store.get(KEY) is None
+    assert store.corrupt_healed == 1
+    assert store.get(KEY) is None  # deleted, not healed again
+    assert store.corrupt_healed == 1
+    store.put(KEY, RECORD)  # and the slot is writable again
+    assert store.get(KEY) == RECORD
+
+
+def test_non_dict_record_healed(store):
+    if isinstance(store, DirectoryStore):
+        store.path(KEY).write_text("[1, 2]")
+    elif isinstance(store, SqliteStore):
+        store._execute(
+            "INSERT OR REPLACE INTO results (key, payload) VALUES (?, ?)",
+            (KEY, "[1, 2]"),
+        )
+    else:
+        store.inject_corrupt(KEY, "[1, 2]")
+    assert store.get(KEY) is None
+    assert store.corrupt_healed == 1
+
+
+def test_url_roundtrips_through_open_store(store, tmp_path):
+    if not store.shared:
+        assert isinstance(open_store(store.url), MemoryStore)
+        return
+    store.put(KEY, RECORD)
+    reopened = open_store(store.url)
+    try:
+        assert type(reopened) is type(store)
+        assert reopened.get(KEY) == RECORD
+    finally:
+        reopened.close()
+
+
+def test_sweep_tmp(store):
+    if isinstance(store, DirectoryStore):
+        (store.root / "deadbeef.json.tmp").write_text("partial")
+        assert store.sweep_tmp() == 1
+        assert not list(store.root.glob("*.tmp"))
+    else:
+        assert store.sweep_tmp() == 0  # nothing to sweep, no error
+
+
+# ---------------------------------------------------------------- specifics
+def test_memory_store_is_not_shared():
+    assert MemoryStore().shared is False
+    assert DirectoryStore.shared and SqliteStore.shared
+
+
+def test_memory_store_reads_are_copies():
+    store = MemoryStore()
+    store.put(KEY, {"v": [1, 2]})
+    store.get(KEY)["v"].append(3)
+    assert store.get(KEY) == {"v": [1, 2]}
+
+
+def test_sqlite_wal_mode(tmp_path):
+    store = SqliteStore(tmp_path / "r.db")
+    mode = store._conn.execute("PRAGMA journal_mode").fetchone()[0]
+    assert mode.lower() == "wal"
+    store.close()
+
+
+def test_sqlite_persists_across_reopen(tmp_path):
+    path = tmp_path / "r.db"
+    store = SqliteStore(path)
+    store.put(KEY, RECORD)
+    store.close()
+    store2 = SqliteStore(path)
+    assert store2.get(KEY) == RECORD
+    store2.close()
+
+
+def test_open_store_dispatch(tmp_path):
+    assert isinstance(open_store(tmp_path / "dir"), DirectoryStore)
+    assert isinstance(open_store(f"sqlite:{tmp_path}/a.db"), SqliteStore)
+    assert isinstance(open_store(str(tmp_path / "b.db")), SqliteStore)
+    assert isinstance(open_store("mem:"), MemoryStore)
+
+
+def test_check_key_accepts_real_hashes():
+    from repro.campaign.spec import trial_hash
+
+    h = trial_hash({"workload": "pingpong"})
+    assert check_key(h) == h
+
+
+# ------------------------------------------------------- ResultCache facade
+def test_cache_facade_counts_hits_and_misses(store):
+    cache = ResultCache(store)
+    assert cache.get(KEY) is None
+    cache.put(KEY, RECORD)
+    assert cache.get(KEY) == RECORD
+    assert (cache.hits, cache.misses) == (1, 1)
+    assert cache.url == store.url
+    assert cache.shared == store.shared
+    assert KEY in cache and len(cache) == 1
+    assert cache.keys() == [KEY]
+
+
+def test_cache_facade_corrupt_healed_delegates(store):
+    cache = ResultCache(store)
+    if isinstance(store, DirectoryStore):
+        store.path(KEY).write_text("{torn")
+    elif isinstance(store, SqliteStore):
+        store._execute(
+            "INSERT OR REPLACE INTO results (key, payload) VALUES (?, ?)",
+            (KEY, "{torn"),
+        )
+    else:
+        store.inject_corrupt(KEY)
+    assert cache.get(KEY) is None
+    assert cache.corrupt_healed == 1
+    assert cache.misses == 1
+
+
+def test_cache_open_url_shares_backing(tmp_path):
+    for url in (str(tmp_path / "dir"), f"sqlite:{tmp_path}/c.db"):
+        writer = ResultCache.open(url)
+        writer.put(KEY, RECORD)
+        reader = ResultCache.open(url)
+        assert reader.get(KEY) == RECORD
+        writer.close()
+        reader.close()
+
+
+def test_cache_directory_compat(tmp_path):
+    """The historical calling convention — ResultCache(path) — still
+    yields a directory-backed cache with path()/root working."""
+    cache = ResultCache(tmp_path / "results")
+    cache.put(KEY, RECORD)
+    assert cache.path(KEY).exists()
+    assert cache.root == tmp_path / "results"
+
+
+def test_cache_path_rejected_for_pathless_backends():
+    cache = ResultCache(MemoryStore())
+    with pytest.raises(BenchmarkError):
+        cache.path(KEY)
+    with pytest.raises(BenchmarkError):
+        _ = cache.root
